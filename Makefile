@@ -1,0 +1,34 @@
+# Convenience targets for the mcpart reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short bench eval fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the slow full-suite integration and fuzz tests.
+test-short:
+	$(GO) test -short ./...
+
+# Regenerates every table and figure of the paper as benchmark metrics.
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x . | tee bench_output.txt
+
+# Prints the paper's tables and figures as formatted text.
+eval:
+	$(GO) run ./cmd/gdpbench -all
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,420 @@
+package mcpart
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (§4) as Go benchmarks, reporting the headline numbers as
+// custom metrics so `go test -bench` output records the reproduction:
+//
+//	BenchmarkTable1       — all four schemes over the suite (cycle totals)
+//	BenchmarkFigure2      — naive-placement cycle increase at 1/5/10-cycle moves
+//	BenchmarkFigure7      — GDP & ProfileMax vs unified, 1-cycle moves
+//	BenchmarkFigure8a/8b  — same at 5- and 10-cycle moves
+//	BenchmarkFigure9      — exhaustive mapping search spread (rawcaudio/rawdaudio)
+//	BenchmarkFigure10     — dynamic intercluster move increase
+//	BenchmarkCompileTime  — §4.5 detailed-partitioner run counts and times
+//
+// plus ablations of the design choices DESIGN.md calls out (merging,
+// slack weights, sink weighting, balance constraints, unroll factors).
+
+import (
+	"sync"
+	"testing"
+
+	"mcpart/internal/bench"
+	"mcpart/internal/cache"
+	"mcpart/internal/eval"
+	"mcpart/internal/gdp"
+	"mcpart/internal/machine"
+	"mcpart/internal/rhop"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     []*eval.Compiled
+)
+
+func suitePrograms(b *testing.B) []*eval.Compiled {
+	b.Helper()
+	suiteOnce.Do(func() {
+		for _, bm := range bench.All() {
+			c, err := eval.Prepare(bm.Name, bm.Source)
+			if err != nil {
+				b.Fatalf("%s: %v", bm.Name, err)
+			}
+			if bm.Want != 0 && c.Ret != bm.Want {
+				b.Fatalf("%s: checksum %d, want %d", bm.Name, c.Ret, bm.Want)
+			}
+			suite = append(suite, c)
+		}
+	})
+	return suite
+}
+
+func runSuite(b *testing.B, lat int, opts eval.Options) []*eval.BenchResult {
+	b.Helper()
+	cfg := machine.Paper2Cluster(lat)
+	var out []*eval.BenchResult
+	for _, c := range suitePrograms(b) {
+		br, err := eval.RunAllSchemes(c, cfg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, br)
+	}
+	return out
+}
+
+func means(rs []*eval.BenchResult) (g, p, n float64) {
+	var gs, ps, ns []float64
+	for _, r := range rs {
+		gs = append(gs, eval.RelativePerf(r.Unified, r.GDP))
+		ps = append(ps, eval.RelativePerf(r.Unified, r.PMax))
+		ns = append(ns, eval.RelativePerf(r.Unified, r.Naive))
+	}
+	return eval.GeoMean(gs), eval.GeoMean(ps), eval.GeoMean(ns)
+}
+
+// BenchmarkTable1 evaluates all four Table 1 schemes across the suite at
+// the default 5-cycle latency and reports total dynamic cycles per scheme.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := runSuite(b, 5, eval.Options{})
+		var u, g, p, n int64
+		for _, r := range rs {
+			u += r.Unified.Cycles
+			g += r.GDP.Cycles
+			p += r.PMax.Cycles
+			n += r.Naive.Cycles
+		}
+		b.ReportMetric(float64(u), "unified-cycles")
+		b.ReportMetric(float64(g), "gdp-cycles")
+		b.ReportMetric(float64(p), "pmax-cycles")
+		b.ReportMetric(float64(n), "naive-cycles")
+	}
+}
+
+// BenchmarkFigure2 reports the average percent cycle increase of the naive
+// data placement over unified memory at each move latency.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, lat := range []int{1, 5, 10} {
+			rs := runSuite(b, lat, eval.Options{})
+			var sum float64
+			for _, r := range rs {
+				sum += eval.CycleIncreasePct(r.Unified, r.Naive)
+			}
+			switch lat {
+			case 1:
+				b.ReportMetric(sum/float64(len(rs)), "naive-incr-lat1-%")
+			case 5:
+				b.ReportMetric(sum/float64(len(rs)), "naive-incr-lat5-%")
+			case 10:
+				b.ReportMetric(sum/float64(len(rs)), "naive-incr-lat10-%")
+			}
+		}
+	}
+}
+
+func perfFigure(b *testing.B, lat int) {
+	for i := 0; i < b.N; i++ {
+		g, p, n := means(runSuite(b, lat, eval.Options{}))
+		b.ReportMetric(100*g, "gdp-rel-%")
+		b.ReportMetric(100*p, "pmax-rel-%")
+		b.ReportMetric(100*n, "naive-rel-%")
+	}
+}
+
+// BenchmarkFigure7 is the 1-cycle-latency performance figure.
+func BenchmarkFigure7(b *testing.B) { perfFigure(b, 1) }
+
+// BenchmarkFigure8a is the 5-cycle-latency performance figure
+// (paper: GDP 95.6%, ProfileMax 90.0%).
+func BenchmarkFigure8a(b *testing.B) { perfFigure(b, 5) }
+
+// BenchmarkFigure8b is the 10-cycle-latency performance figure
+// (paper: GDP 96.3%, ProfileMax 88.1%).
+func BenchmarkFigure8b(b *testing.B) { perfFigure(b, 10) }
+
+// BenchmarkFigure9 runs the exhaustive mapping search on the two ADPCM
+// benchmarks and reports the best-over-worst spread and the fraction of it
+// GDP captures.
+func BenchmarkFigure9(b *testing.B) {
+	cfg := machine.Paper2Cluster(5)
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"rawcaudio", "rawdaudio"} {
+			var c *eval.Compiled
+			for _, s := range suitePrograms(b) {
+				if s.Name == name {
+					c = s
+				}
+			}
+			ex, err := eval.Exhaustive(c, cfg, eval.Options{}, 14)
+			if err != nil {
+				b.Fatal(err)
+			}
+			spread := float64(ex.Worst)/float64(ex.Best) - 1
+			gp := ex.Find(ex.GDPMask)
+			b.ReportMetric(100*spread, name+"-spread-%")
+			b.ReportMetric(gp.PerfVsWorst, name+"-gdp-x")
+		}
+	}
+}
+
+// BenchmarkFigure10 reports the average percent increase in dynamic
+// intercluster moves over the unified machine at 5-cycle latency.
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := runSuite(b, 5, eval.Options{})
+		// Aggregate totals rather than mean-of-ratios: several benchmarks
+		// have near-zero unified move counts, which would dominate a mean.
+		var ug, gg, pg int64
+		for _, r := range rs {
+			ug += r.Unified.Moves
+			gg += r.GDP.Moves
+			pg += r.PMax.Moves
+		}
+		b.ReportMetric(100*(float64(gg)-float64(ug))/float64(ug), "gdp-move-incr-%")
+		b.ReportMetric(100*(float64(pg)-float64(ug))/float64(ug), "pmax-move-incr-%")
+	}
+}
+
+// BenchmarkCompileTime reproduces §4.5: ProfileMax needs two detailed
+// computation-partitioner runs where GDP and Naïve need one, so its
+// partitioning time is roughly double.
+func BenchmarkCompileTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := runSuite(b, 5, eval.Options{})
+		var gdpMs, pmaxMs, naiveMs float64
+		for _, r := range rs {
+			gdpMs += float64(r.GDP.PartitionTime.Microseconds()) / 1000
+			pmaxMs += float64(r.PMax.PartitionTime.Microseconds()) / 1000
+			naiveMs += float64(r.Naive.PartitionTime.Microseconds()) / 1000
+		}
+		b.ReportMetric(gdpMs, "gdp-partition-ms")
+		b.ReportMetric(pmaxMs, "pmax-partition-ms")
+		b.ReportMetric(naiveMs, "naive-partition-ms")
+		b.ReportMetric(pmaxMs/gdpMs, "pmax/gdp-ratio")
+	}
+}
+
+// --- Ablations of DESIGN.md's design choices ---
+
+func ablationGDP(b *testing.B, opts eval.Options) {
+	cfg := machine.Paper2Cluster(5)
+	for i := 0; i < b.N; i++ {
+		var gs []float64
+		for _, c := range suitePrograms(b) {
+			u, err := eval.RunUnified(c, cfg, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := eval.RunGDP(c, cfg, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gs = append(gs, eval.RelativePerf(u, g))
+		}
+		b.ReportMetric(100*eval.GeoMean(gs), "gdp-rel-%")
+	}
+}
+
+// BenchmarkAblationNoMerge disables access-pattern merging (§3.3.1).
+func BenchmarkAblationNoMerge(b *testing.B) {
+	ablationGDP(b, eval.Options{GDP: gdp.Options{NoMerge: true}})
+}
+
+// BenchmarkAblationSlackMerge additionally merges low-slack dependence
+// chains, the variant the paper evaluated and rejected (§3.3.1).
+func BenchmarkAblationSlackMerge(b *testing.B) {
+	ablationGDP(b, eval.Options{GDP: gdp.Options{SlackMerge: true}})
+}
+
+// BenchmarkAblationNoSinkWeighting removes the latency-criticality edge
+// weighting from the program-level graph.
+func BenchmarkAblationNoSinkWeighting(b *testing.B) {
+	ablationGDP(b, eval.Options{GDP: gdp.Options{NoSinkWeighting: true}})
+}
+
+// BenchmarkAblationBalanceOps adds the computation-balance constraint to
+// the data partition (the paper balances only data bytes).
+func BenchmarkAblationBalanceOps(b *testing.B) {
+	ablationGDP(b, eval.Options{GDP: gdp.Options{BalanceOps: true}})
+}
+
+// BenchmarkAblationUniformEdges removes slack weighting from RHOP's
+// coarsening graph.
+func BenchmarkAblationUniformEdges(b *testing.B) {
+	ablationGDP(b, eval.Options{RHOP: rhop.Options{UniformEdges: true}})
+}
+
+// BenchmarkAblationPairRefine adds RHOP's pair-group refinement phase
+// (coarser-level moves in the uncoarsening hierarchy).
+func BenchmarkAblationPairRefine(b *testing.B) {
+	ablationGDP(b, eval.Options{RHOP: rhop.Options{PairRefine: true}})
+}
+
+// BenchmarkFourCluster evaluates the suite on the 4-cluster scaling of the
+// paper machine (the paper's architecture motivates scaling by
+// instantiating clusters; this measures how the schemes hold up).
+func BenchmarkFourCluster(b *testing.B) {
+	cfg := machine.FourCluster(5)
+	for i := 0; i < b.N; i++ {
+		var gs, ps []float64
+		for _, c := range suitePrograms(b) {
+			br, err := eval.RunAllSchemes(c, cfg, eval.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gs = append(gs, eval.RelativePerf(br.Unified, br.GDP))
+			ps = append(ps, eval.RelativePerf(br.Unified, br.PMax))
+		}
+		b.ReportMetric(100*eval.GeoMean(gs), "gdp-rel-%")
+		b.ReportMetric(100*eval.GeoMean(ps), "pmax-rel-%")
+	}
+}
+
+// BenchmarkAblationMemTol sweeps the data-balance tolerance (§4.3 notes
+// that more imbalance can buy performance).
+func BenchmarkAblationMemTol(b *testing.B) {
+	for _, tol := range []float64{0.05, 0.10, 0.30, 1.00} {
+		tol := tol
+		name := map[float64]string{0.05: "tol05", 0.10: "tol10", 0.30: "tol30", 1.00: "tol100"}[tol]
+		b.Run(name, func(b *testing.B) {
+			ablationGDP(b, eval.Options{GDP: gdp.Options{MemTol: tol}})
+		})
+	}
+}
+
+// BenchmarkExtraBaselines compares GDP against the round-robin and
+// affinity object placements studied by Terechko et al. (CASES'03), the
+// prior work the paper positions itself against.
+func BenchmarkExtraBaselines(b *testing.B) {
+	cfg := machine.Paper2Cluster(5)
+	for i := 0; i < b.N; i++ {
+		var gs, rr, af []float64
+		for _, c := range suitePrograms(b) {
+			u, err := eval.RunUnified(c, cfg, eval.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := eval.RunGDP(c, cfg, eval.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := eval.RunRoundRobin(c, cfg, eval.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := eval.RunAffinity(c, cfg, eval.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gs = append(gs, eval.RelativePerf(u, g))
+			rr = append(rr, eval.RelativePerf(u, r))
+			af = append(af, eval.RelativePerf(u, a))
+		}
+		b.ReportMetric(100*eval.GeoMean(gs), "gdp-rel-%")
+		b.ReportMetric(100*eval.GeoMean(rr), "roundrobin-rel-%")
+		b.ReportMetric(100*eval.GeoMean(af), "affinity-rel-%")
+	}
+}
+
+// BenchmarkExtensionCaches evaluates the paper's §5 future work: replace
+// the perfect scratchpads with per-cluster caches (trace-driven LRU
+// simulation) and compare GDP's placement against a unified cache of the
+// combined size. Reported: miss rates and the cycle overhead GDP's
+// placement adds on top of its schedule.
+func BenchmarkExtensionCaches(b *testing.B) {
+	mcfg := machine.Paper2Cluster(5)
+	ccfg := cache.Config{SizeBytes: 4096, LineBytes: 32, Assoc: 2, MissPenalty: 20}
+	for i := 0; i < b.N; i++ {
+		var gdpMiss, uniMiss, extraPct float64
+		n := 0
+		for _, c := range suitePrograms(b) {
+			tr, err := cache.Collect(c.Mod, 20_000_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := eval.RunGDP(c, mcfg, eval.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			part, err := cache.ReplayPartitioned(tr, g.DataMap, 2, ccfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			uni, err := cache.ReplayUnified(tr, 2, ccfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gdpMiss += part.MissRate()
+			uniMiss += uni.MissRate()
+			extraPct += 100 * float64(part.ExtraCyc) / float64(g.Cycles)
+			n++
+		}
+		b.ReportMetric(100*gdpMiss/float64(n), "gdp-missrate-%")
+		b.ReportMetric(100*uniMiss/float64(n), "unified-missrate-%")
+		b.ReportMetric(extraPct/float64(n), "gdp-miss-overhead-%")
+	}
+}
+
+// BenchmarkTopologyRing compares the 4-cluster bus against a
+// nearest-neighbor ring (the tiled-machine interconnect of §2): on the
+// ring, GDP's co-location of data and computation matters more because
+// distant clusters pay multiple hops.
+func BenchmarkTopologyRing(b *testing.B) {
+	bus := machine.FourCluster(5)
+	ring := machine.RingFour(5)
+	for i := 0; i < b.N; i++ {
+		var busRel, ringRel []float64
+		for _, c := range suitePrograms(b) {
+			for _, cfg := range []*machine.Config{bus, ring} {
+				u, err := eval.RunUnified(c, cfg, eval.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				g, err := eval.RunGDP(c, cfg, eval.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if cfg == bus {
+					busRel = append(busRel, eval.RelativePerf(u, g))
+				} else {
+					ringRel = append(ringRel, eval.RelativePerf(u, g))
+				}
+			}
+		}
+		b.ReportMetric(100*eval.GeoMean(busRel), "bus-gdp-rel-%")
+		b.ReportMetric(100*eval.GeoMean(ringRel), "ring-gdp-rel-%")
+	}
+}
+
+// BenchmarkAblationUnroll sweeps the front-end unroll factor; factor 1
+// leaves no cross-iteration ILP for the clusters to share.
+func BenchmarkAblationUnroll(b *testing.B) {
+	cfg := machine.Paper2Cluster(5)
+	for _, u := range []int{1, 2, 4} {
+		u := u
+		name := map[int]string{1: "u1", 2: "u2", 4: "u4"}[u]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var gs []float64
+				for _, bm := range bench.All() {
+					c, err := eval.PrepareUnrolled(bm.Name, bm.Source, u)
+					if err != nil {
+						b.Fatal(err)
+					}
+					uni, err := eval.RunUnified(c, cfg, eval.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					g, err := eval.RunGDP(c, cfg, eval.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					gs = append(gs, eval.RelativePerf(uni, g))
+				}
+				b.ReportMetric(100*eval.GeoMean(gs), "gdp-rel-%")
+			}
+		})
+	}
+}

@@ -1,0 +1,379 @@
+// Command gdpbench regenerates the paper's evaluation: every table and
+// figure of Chu & Mahlke (CGO 2006) over the bundled benchmark suite.
+//
+// Usage:
+//
+//	gdpbench -table 1          # Table 1: scheme summary
+//	gdpbench -figure 2         # Fig 2: naive placement cycle increase
+//	gdpbench -figure 7         # Fig 7: GDP/PMax vs unified, 1-cycle moves
+//	gdpbench -figure 8a        # Fig 8a: 5-cycle moves
+//	gdpbench -figure 8b        # Fig 8b: 10-cycle moves
+//	gdpbench -figure 9         # Fig 9: exhaustive search (rawcaudio, rawdaudio)
+//	gdpbench -figure 10        # Fig 10: intercluster move increase
+//	gdpbench -compiletime      # §4.5: detailed-partitioner runs and times
+//	gdpbench -all              # everything
+//	gdpbench -json             # machine-readable per-benchmark results
+//	gdpbench -svg DIR          # render every figure as an SVG file
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mcpart/internal/bench"
+	"mcpart/internal/eval"
+	"mcpart/internal/machine"
+	"mcpart/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gdpbench:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the harness against args, writing to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gdpbench", flag.ContinueOnError)
+	var (
+		table       = fs.String("table", "", "table to regenerate (1)")
+		figure      = fs.String("figure", "", "figure to regenerate (2, 7, 8a, 8b, 9, 10)")
+		compileTime = fs.Bool("compiletime", false, "regenerate §4.5 compile-time comparison")
+		all         = fs.Bool("all", false, "regenerate every table and figure")
+		filter      = fs.String("run", "", "only benchmarks whose name contains this substring")
+		jsonOut     = fs.Bool("json", false, "emit machine-readable JSON (per-benchmark, all latencies) instead of text")
+		svgDir      = fs.String("svg", "", "write every figure as an SVG file into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	h := &harness{filter: *filter, cache: map[string]*eval.Compiled{}, out: out}
+	if *jsonOut {
+		return h.emitJSON()
+	}
+	if *svgDir != "" {
+		return h.emitSVGs(*svgDir)
+	}
+	any := false
+	if *all || *table == "1" {
+		fmt.Fprintln(out, eval.FormatTable1())
+		any = true
+	}
+	if *all || *figure == "2" {
+		if err := h.figure2(); err != nil {
+			return err
+		}
+		any = true
+	}
+	if *all || *figure == "7" {
+		if err := h.perfFigure("Figure 7: performance relative to unified memory (1-cycle moves)", 1); err != nil {
+			return err
+		}
+		any = true
+	}
+	if *all || *figure == "8a" {
+		if err := h.perfFigure("Figure 8a: performance relative to unified memory (5-cycle moves)", 5); err != nil {
+			return err
+		}
+		any = true
+	}
+	if *all || *figure == "8b" {
+		if err := h.perfFigure("Figure 8b: performance relative to unified memory (10-cycle moves)", 10); err != nil {
+			return err
+		}
+		any = true
+	}
+	if *all || *figure == "9" {
+		if err := h.figure9(); err != nil {
+			return err
+		}
+		any = true
+	}
+	if *all || *figure == "10" {
+		if err := h.figure10(); err != nil {
+			return err
+		}
+		any = true
+	}
+	if *all || *compileTime {
+		if err := h.compileTime(); err != nil {
+			return err
+		}
+		any = true
+	}
+	if !any {
+		return fmt.Errorf("nothing selected; use -all, -table, -figure, or -compiletime")
+	}
+	return nil
+}
+
+type harness struct {
+	filter string
+	cache  map[string]*eval.Compiled
+	out    io.Writer
+}
+
+func (h *harness) benchmarks() []bench.Benchmark {
+	var out []bench.Benchmark
+	for _, b := range bench.All() {
+		if h.filter == "" || strings.Contains(b.Name, h.filter) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func (h *harness) compiled(b bench.Benchmark) (*eval.Compiled, error) {
+	if c, ok := h.cache[b.Name]; ok {
+		return c, nil
+	}
+	c, err := eval.Prepare(b.Name, b.Source)
+	if err != nil {
+		return nil, err
+	}
+	if b.Want != 0 && c.Ret != b.Want {
+		return nil, fmt.Errorf("%s: checksum %d, want %d", b.Name, c.Ret, b.Want)
+	}
+	h.cache[b.Name] = c
+	return c, nil
+}
+
+func (h *harness) runAll(lat int) ([]*eval.BenchResult, error) {
+	cfg := machine.Paper2Cluster(lat)
+	var out []*eval.BenchResult
+	for _, b := range h.benchmarks() {
+		c, err := h.compiled(b)
+		if err != nil {
+			return nil, err
+		}
+		br, err := eval.RunAllSchemes(c, cfg, eval.Options{})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, br)
+	}
+	return out, nil
+}
+
+func (h *harness) figure2() error {
+	lats := []int{1, 5, 10}
+	results := map[int][]*eval.BenchResult{}
+	for _, lat := range lats {
+		rs, err := h.runAll(lat)
+		if err != nil {
+			return err
+		}
+		results[lat] = rs
+	}
+	fmt.Fprintln(h.out, eval.FormatFigure2(lats, results))
+	return nil
+}
+
+func (h *harness) perfFigure(title string, lat int) error {
+	rs, err := h.runAll(lat)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(h.out, eval.FormatPerfFigure(title, rs))
+	return nil
+}
+
+func (h *harness) figure9() error {
+	cfg := machine.Paper2Cluster(5)
+	for _, b := range h.benchmarks() {
+		if !b.Exhaustive {
+			continue
+		}
+		c, err := h.compiled(b)
+		if err != nil {
+			return err
+		}
+		ex, err := eval.Exhaustive(c, cfg, eval.Options{}, 14)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(h.out, eval.FormatFigure9(b.Name, ex))
+	}
+	return nil
+}
+
+func (h *harness) figure10() error {
+	rs, err := h.runAll(5)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(h.out, eval.FormatFigure10(rs))
+	return nil
+}
+
+// jsonRow is the machine-readable record for one benchmark at one latency.
+type jsonRow struct {
+	Benchmark     string  `json:"benchmark"`
+	Latency       int     `json:"move_latency"`
+	UnifiedCycles int64   `json:"unified_cycles"`
+	GDPCycles     int64   `json:"gdp_cycles"`
+	PMaxCycles    int64   `json:"profilemax_cycles"`
+	NaiveCycles   int64   `json:"naive_cycles"`
+	UnifiedMoves  int64   `json:"unified_moves"`
+	GDPMoves      int64   `json:"gdp_moves"`
+	PMaxMoves     int64   `json:"profilemax_moves"`
+	NaiveMoves    int64   `json:"naive_moves"`
+	GDPRel        float64 `json:"gdp_rel"`
+	PMaxRel       float64 `json:"profilemax_rel"`
+	NaiveRel      float64 `json:"naive_rel"`
+	GDPDataMap    []int   `json:"gdp_data_map"`
+}
+
+// emitJSON writes one record per (benchmark, latency) for external
+// plotting of Figures 2, 7, 8 and 10.
+func (h *harness) emitJSON() error {
+	var rows []jsonRow
+	for _, lat := range []int{1, 5, 10} {
+		rs, err := h.runAll(lat)
+		if err != nil {
+			return err
+		}
+		for _, r := range rs {
+			rows = append(rows, jsonRow{
+				Benchmark:     r.Name,
+				Latency:       lat,
+				UnifiedCycles: r.Unified.Cycles,
+				GDPCycles:     r.GDP.Cycles,
+				PMaxCycles:    r.PMax.Cycles,
+				NaiveCycles:   r.Naive.Cycles,
+				UnifiedMoves:  r.Unified.Moves,
+				GDPMoves:      r.GDP.Moves,
+				PMaxMoves:     r.PMax.Moves,
+				NaiveMoves:    r.Naive.Moves,
+				GDPRel:        eval.RelativePerf(r.Unified, r.GDP),
+				PMaxRel:       eval.RelativePerf(r.Unified, r.PMax),
+				NaiveRel:      eval.RelativePerf(r.Unified, r.Naive),
+				GDPDataMap:    r.GDP.DataMap,
+			})
+		}
+	}
+	enc := json.NewEncoder(h.out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// emitSVGs renders every figure into dir as SVG files.
+func (h *harness) emitSVGs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name, svg string) error {
+		path := dir + "/" + name
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(h.out, "wrote %s\n", path)
+		return nil
+	}
+	byLat := map[int][]*eval.BenchResult{}
+	for _, lat := range []int{1, 5, 10} {
+		rs, err := h.runAll(lat)
+		if err != nil {
+			return err
+		}
+		byLat[lat] = rs
+	}
+	labels := make([]string, 0, len(byLat[1]))
+	for _, r := range byLat[1] {
+		labels = append(labels, r.Name)
+	}
+	// Figure 2: naive cycle increase per latency.
+	var f2 []plot.Series
+	for _, lat := range []int{1, 5, 10} {
+		vals := make([]float64, len(byLat[lat]))
+		for i, r := range byLat[lat] {
+			vals[i] = eval.CycleIncreasePct(r.Unified, r.Naive)
+		}
+		f2 = append(f2, plot.Series{Name: fmt.Sprintf("lat %d", lat), Values: vals})
+	}
+	if err := write("figure2.svg", plot.BarChart(
+		"Figure 2: cycle increase of naive data placement vs unified memory",
+		"% increase", labels, f2, 0, 0)); err != nil {
+		return err
+	}
+	// Figures 7/8a/8b: relative performance.
+	perf := func(rs []*eval.BenchResult) []plot.Series {
+		g := make([]float64, len(rs))
+		p := make([]float64, len(rs))
+		for i, r := range rs {
+			g[i] = 100 * eval.RelativePerf(r.Unified, r.GDP)
+			p[i] = 100 * eval.RelativePerf(r.Unified, r.PMax)
+		}
+		return []plot.Series{{Name: "GDP", Values: g}, {Name: "ProfileMax", Values: p}}
+	}
+	for _, fig := range []struct {
+		name, title string
+		lat         int
+	}{
+		{"figure7.svg", "Figure 7: performance relative to unified memory (1-cycle moves)", 1},
+		{"figure8a.svg", "Figure 8a: performance relative to unified memory (5-cycle moves)", 5},
+		{"figure8b.svg", "Figure 8b: performance relative to unified memory (10-cycle moves)", 10},
+	} {
+		if err := write(fig.name, plot.BarChart(fig.title, "% of unified",
+			labels, perf(byLat[fig.lat]), 115, 100)); err != nil {
+			return err
+		}
+	}
+	// Figure 9 scatters.
+	cfg := machine.Paper2Cluster(5)
+	for _, b := range h.benchmarks() {
+		if !b.Exhaustive {
+			continue
+		}
+		c, err := h.compiled(b)
+		if err != nil {
+			return err
+		}
+		ex, err := eval.Exhaustive(c, cfg, eval.Options{}, 14)
+		if err != nil {
+			return err
+		}
+		pts := make([]plot.Point, len(ex.Points))
+		for i, pt := range ex.Points {
+			mark := ""
+			if pt.Mask == ex.GDPMask {
+				mark = "GDP"
+			} else if pt.Mask == ex.PMaxMask {
+				mark = "PMax"
+			}
+			pts[i] = plot.Point{X: pt.Imbalance, Y: pt.PerfVsWorst, Shade: pt.Imbalance, Mark: mark}
+		}
+		if err := write("figure9-"+b.Name+".svg", plot.Scatter(
+			"Figure 9 ("+b.Name+"): exhaustive data mappings",
+			"data size imbalance", "performance vs worst mapping", pts)); err != nil {
+			return err
+		}
+	}
+	// Figure 10: move increase.
+	rs := byLat[5]
+	g10 := make([]float64, len(rs))
+	p10 := make([]float64, len(rs))
+	for i, r := range rs {
+		g10[i] = eval.MoveIncreasePct(r.Unified, r.GDP)
+		p10[i] = eval.MoveIncreasePct(r.Unified, r.PMax)
+	}
+	return write("figure10.svg", plot.BarChart(
+		"Figure 10: increase in dynamic intercluster moves vs unified (5-cycle moves)",
+		"% increase", labels,
+		[]plot.Series{{Name: "GDP", Values: g10}, {Name: "ProfileMax", Values: p10}}, 0, 0))
+}
+
+func (h *harness) compileTime() error {
+	rs, err := h.runAll(5)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(h.out, eval.FormatCompileTime(rs))
+	return nil
+}

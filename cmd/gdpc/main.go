@@ -1,0 +1,163 @@
+// Command gdpc is the compiler driver: it compiles an mclang source file
+// (or a bundled benchmark), partitions data and computation for a
+// multicluster VLIW machine under a chosen scheme, and reports dynamic
+// cycles, intercluster moves, and the data-object placement.
+//
+// Usage:
+//
+//	gdpc -bench rawcaudio -scheme gdp -latency 5
+//	gdpc -src kernel.mc -scheme all -latency 10 -clusters 2
+//	gdpc -bench fir -dump-ir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mcpart"
+	"mcpart/internal/ir"
+	"mcpart/internal/sched"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gdpc:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the driver against args, writing output to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gdpc", flag.ContinueOnError)
+	var (
+		srcPath   = fs.String("src", "", "path to an mclang source file")
+		benchN    = fs.String("bench", "", "name of a bundled benchmark (see -list)")
+		list      = fs.Bool("list", false, "list bundled benchmarks and exit")
+		scheme    = fs.String("scheme", "all", "gdp | profilemax | naive | unified | all")
+		latency   = fs.Int("latency", 5, "intercluster move latency in cycles")
+		clusters  = fs.Int("clusters", 2, "number of clusters (2 or 4)")
+		unroll    = fs.Int("unroll", 0, "loop unrolling factor (0 = default)")
+		dumpIR    = fs.Bool("dump-ir", false, "print the compiled IR and exit")
+		dumpSched = fs.String("dump-sched", "", "print the VLIW schedule of this function under the chosen scheme")
+		objects   = fs.Bool("objects", true, "print the data-object table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, n := range mcpart.BenchmarkNames() {
+			fmt.Fprintln(out, n)
+		}
+		return nil
+	}
+
+	prog, err := load(*srcPath, *benchN, *unroll)
+	if err != nil {
+		return err
+	}
+	if *dumpIR {
+		fmt.Fprint(out, ir.Print(prog.Module()))
+		return nil
+	}
+
+	var m *mcpart.Machine
+	switch *clusters {
+	case 2:
+		m = mcpart.Paper2Cluster(*latency)
+	case 4:
+		m = mcpart.FourCluster(*latency)
+	default:
+		return fmt.Errorf("unsupported cluster count %d (use 2 or 4)", *clusters)
+	}
+
+	fmt.Fprintf(out, "program %s  checksum %d  machine %s\n", prog.Name(), prog.Checksum(), m.Name)
+	if *objects {
+		fmt.Fprintln(out, "data objects:")
+		for _, o := range prog.Objects() {
+			kind := "global"
+			if o.Heap {
+				kind = "heap"
+			}
+			fmt.Fprintf(out, "  #%-3d %-24s %-6s %8d bytes %10d accesses\n",
+				o.ID, o.Name, kind, o.Bytes, o.Accesses)
+		}
+	}
+
+	schemes, err := pickSchemes(*scheme)
+	if err != nil {
+		return err
+	}
+	var unified *mcpart.Result
+	for _, s := range schemes {
+		r, err := mcpart.Evaluate(prog, m, s, mcpart.Options{})
+		if err != nil {
+			return err
+		}
+		if *dumpSched != "" && s == schemes[len(schemes)-1] {
+			f := prog.Module().Func(*dumpSched)
+			if f == nil {
+				return fmt.Errorf("no function %q", *dumpSched)
+			}
+			fmt.Fprint(out, sched.FormatFunc(f, r.Assign[f], m))
+		}
+		line := fmt.Sprintf("%-11s %10d cycles %8d moves", s, r.Cycles, r.Moves)
+		if s == mcpart.SchemeUnified {
+			unified = r
+		} else if unified != nil {
+			line += fmt.Sprintf("   %6.1f%% of unified", 100*mcpart.RelativePerf(unified, r))
+		}
+		if r.DataMap != nil {
+			line += "   map=" + mapString(r.DataMap)
+		}
+		fmt.Fprintln(out, line)
+	}
+	return nil
+}
+
+func load(srcPath, benchName string, unroll int) (*mcpart.Program, error) {
+	switch {
+	case srcPath != "" && benchName != "":
+		return nil, fmt.Errorf("use only one of -src and -bench")
+	case srcPath != "":
+		data, err := os.ReadFile(srcPath)
+		if err != nil {
+			return nil, err
+		}
+		return mcpart.CompileWithOptions(srcPath, string(data), mcpart.CompileOptions{Unroll: unroll})
+	case benchName != "":
+		src, err := mcpart.BenchmarkSource(benchName)
+		if err != nil {
+			return nil, err
+		}
+		return mcpart.CompileWithOptions(benchName, src, mcpart.CompileOptions{Unroll: unroll})
+	}
+	return nil, fmt.Errorf("need -src FILE or -bench NAME (try -list)")
+}
+
+func pickSchemes(s string) ([]mcpart.Scheme, error) {
+	switch s {
+	case "gdp":
+		return []mcpart.Scheme{mcpart.SchemeUnified, mcpart.SchemeGDP}, nil
+	case "profilemax":
+		return []mcpart.Scheme{mcpart.SchemeUnified, mcpart.SchemeProfileMax}, nil
+	case "naive":
+		return []mcpart.Scheme{mcpart.SchemeUnified, mcpart.SchemeNaive}, nil
+	case "unified":
+		return []mcpart.Scheme{mcpart.SchemeUnified}, nil
+	case "all":
+		return []mcpart.Scheme{mcpart.SchemeUnified, mcpart.SchemeGDP,
+			mcpart.SchemeProfileMax, mcpart.SchemeNaive}, nil
+	}
+	return nil, fmt.Errorf("unknown scheme %q", s)
+}
+
+func mapString(dm mcpart.DataMap) string {
+	out := make([]byte, len(dm))
+	for i, c := range dm {
+		out[i] = byte('0' + c)
+	}
+	return string(out)
+}

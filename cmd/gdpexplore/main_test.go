@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExploreText(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "halftone"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 9 (halftone)", "GDP chose mask", "best achievable"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExploreCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "fir", "-csv"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "mask,cycles,perf_vs_worst,imbalance,is_gdp,is_pmax" {
+		t.Errorf("bad CSV header %q", lines[0])
+	}
+	// One row per mapping: 2^objects + header.
+	if len(lines) < 9 {
+		t.Errorf("only %d CSV lines", len(lines))
+	}
+	gdpRows := 0
+	for _, l := range lines[1:] {
+		if strings.Contains(l, "true") {
+			gdpRows++
+		}
+	}
+	if gdpRows == 0 {
+		t.Error("no scheme-marked rows in CSV")
+	}
+}
+
+func TestExploreErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "nope"}, &sb); err == nil {
+		t.Error("accepted unknown benchmark")
+	}
+	if err := run([]string{"-bench", "mpeg2dec", "-maxobjects", "2"}, &sb); err == nil {
+		t.Error("accepted object count above cap")
+	}
+}

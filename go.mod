@@ -1,0 +1,3 @@
+module mcpart
+
+go 1.22

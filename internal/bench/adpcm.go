@@ -1,0 +1,125 @@
+package bench
+
+// IMA ADPCM coder/decoder pair, mirroring Mediabench's adpcm (rawcaudio
+// encodes PCM to 4-bit codes, rawdaudio decodes back). Data objects: the
+// 89-entry step-size table, the 16-entry index-adjust table, the two-word
+// coder state, and heap sample buffers — few enough merged objects that the
+// paper could search all data mappings exhaustively (Figure 9).
+
+const adpcmTables = `
+global int stepsizeTable[89] = {
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+    19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+    50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+    130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+    337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+    876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+    5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+global int indexTable[16] = {-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8};
+global int coderState[2];
+`
+
+const adpcmEncode = `
+func adpcm_encode(int *inp, int *outp, int len) {
+    int valpred = coderState[0];
+    int index = coderState[1];
+    int step = stepsizeTable[index];
+    int i;
+    for (i = 0; i < len; i = i + 1) {
+        int val = inp[i];
+        int diff = val - valpred;
+        int sign = 0;
+        if (diff < 0) { sign = 8; diff = -diff; }
+        int delta = 0;
+        int vpdiff = step >> 3;
+        if (diff >= step) { delta = 4; diff = diff - step; vpdiff = vpdiff + step; }
+        int half = step >> 1;
+        if (diff >= half) { delta = delta | 2; diff = diff - half; vpdiff = vpdiff + half; }
+        int quarter = step >> 2;
+        if (diff >= quarter) { delta = delta | 1; vpdiff = vpdiff + quarter; }
+        if (sign > 0) { valpred = valpred - vpdiff; } else { valpred = valpred + vpdiff; }
+        if (valpred > 32767) { valpred = 32767; }
+        if (valpred < -32768) { valpred = -32768; }
+        delta = delta | sign;
+        index = index + indexTable[delta];
+        if (index < 0) { index = 0; }
+        if (index > 88) { index = 88; }
+        step = stepsizeTable[index];
+        outp[i] = delta;
+    }
+    coderState[0] = valpred;
+    coderState[1] = index;
+}
+`
+
+const adpcmDecode = `
+func adpcm_decode(int *inp, int *outp, int len) {
+    int valpred = coderState[0];
+    int index = coderState[1];
+    int step = stepsizeTable[index];
+    int i;
+    for (i = 0; i < len; i = i + 1) {
+        int delta = inp[i];
+        index = index + indexTable[delta & 15];
+        if (index < 0) { index = 0; }
+        if (index > 88) { index = 88; }
+        int sign = delta & 8;
+        int mag = delta & 7;
+        int vpdiff = step >> 3;
+        if ((mag & 4) != 0) { vpdiff = vpdiff + step; }
+        if ((mag & 2) != 0) { vpdiff = vpdiff + (step >> 1); }
+        if ((mag & 1) != 0) { vpdiff = vpdiff + (step >> 2); }
+        if (sign != 0) { valpred = valpred - vpdiff; } else { valpred = valpred + vpdiff; }
+        if (valpred > 32767) { valpred = 32767; }
+        if (valpred < -32768) { valpred = -32768; }
+        step = stepsizeTable[index];
+        outp[i] = valpred;
+    }
+    coderState[0] = valpred;
+    coderState[1] = index;
+}
+`
+
+func init() {
+	register(Benchmark{
+		Name:       "rawcaudio",
+		Want:       26620,
+		Exhaustive: true,
+		Source: lcg + adpcmTables + adpcmEncode + `
+func main() int {
+    int n = 1200;
+    int *pcm;
+    int *code;
+    pcm = malloc(n * 8);
+    code = malloc(n * 8);
+    int i;
+    for (i = 0; i < n; i = i + 1) { pcm[i] = srnd(3000); }
+    adpcm_encode(pcm, code, n);
+    int sum = 0;
+    for (i = 0; i < n; i = i + 1) { sum = sum + code[i] * (i % 7 + 1); }
+    return (sum + coderState[0] + coderState[1]) % 1000003;
+}`,
+	})
+
+	register(Benchmark{
+		Name:       "rawdaudio",
+		Want:       69993,
+		Exhaustive: true,
+		Source: lcg + adpcmTables + adpcmDecode + `
+func main() int {
+    int n = 1200;
+    int *code;
+    int *pcm;
+    code = malloc(n * 8);
+    pcm = malloc(n * 8);
+    int i;
+    for (i = 0; i < n; i = i + 1) { code[i] = rnd(16); }
+    adpcm_decode(code, pcm, n);
+    int sum = 0;
+    for (i = 0; i < n; i = i + 1) { sum = sum + pcm[i] % 97; }
+    return (sum + coderState[0] * 3 + coderState[1]) % 1000003;
+}`,
+	})
+}

@@ -1,0 +1,216 @@
+package bench
+
+// G.721-style ADPCM with adaptive predictor (g721enc/g721dec) and GSM
+// 06.10-style LPC/LTP coding (gsmencode/gsmdecode). The originals' hot
+// kernels mix table lookups, two-tap/six-tap filter state updates, and
+// per-sample quantization — reproduced here over heap sample buffers.
+
+const g721Common = `
+global int qtab[7] = {-124, 80, 178, 246, 300, 349, 400};
+global int witab[8] = {-12, 18, 41, 64, 112, 198, 355, 1122};
+global int fitab[8] = {0, 0, 0, 512, 1024, 1536, 3072, 5120};
+global int predState[8];
+global int stepScale;
+
+func quantize(int d) int {
+    int mag = d;
+    if (mag < 0) { mag = -mag; }
+    int exp = 0;
+    int m = mag;
+    while (m > 1 && exp < 14) { m = m >> 1; exp = exp + 1; }
+    int mant = 0;
+    if (exp > 6) { mant = 7; } else { mant = exp; }
+    int i = 0;
+    int code = 0;
+    for (i = 0; i < 7; i = i + 1) {
+        if (mag * 4 > qtab[i] + stepScale) { code = i + 1; }
+    }
+    if (d < 0) { code = code | 8; }
+    return code;
+}
+
+func predict() int {
+    int acc = 0;
+    int i;
+    for (i = 0; i < 6; i = i + 1) {
+        acc = acc + predState[i] * (i + 2);
+    }
+    return acc >> 4;
+}
+
+func updateState(int code, int dq) {
+    int i;
+    for (i = 5; i > 0; i = i - 1) {
+        predState[i] = predState[i - 1];
+    }
+    predState[0] = dq;
+    stepScale = stepScale + witab[code & 7] - (stepScale >> 5);
+    if (stepScale < 0) { stepScale = 0; }
+    if (stepScale > 6000) { stepScale = 6000; }
+    predState[6] = predState[6] + fitab[code & 7] - (predState[6] >> 6);
+    predState[7] = code;
+}
+
+func reconstruct(int code) int {
+    int mag = (code & 7) * (stepScale + 64) >> 5;
+    if ((code & 8) != 0) { return -mag; }
+    return mag;
+}
+`
+
+func init() {
+	register(Benchmark{
+		Name: "g721enc",
+		Want: 27572,
+		Source: lcg + g721Common + `
+func main() int {
+    int n = 700;
+    int *pcm;
+    int *out;
+    pcm = malloc(n * 8);
+    out = malloc(n * 8);
+    int i;
+    for (i = 0; i < n; i = i + 1) { pcm[i] = srnd(8000); }
+    for (i = 0; i < n; i = i + 1) {
+        int se = predict();
+        int d = pcm[i] - se;
+        int code = quantize(d);
+        int dq = reconstruct(code);
+        updateState(code, dq);
+        out[i] = code;
+    }
+    int sum = 0;
+    for (i = 0; i < n; i = i + 1) { sum = sum + out[i] * (1 + i % 5); }
+    return (sum + stepScale + predState[0]) % 1000003;
+}`,
+	})
+
+	register(Benchmark{
+		Name: "g721dec",
+		Want: 420,
+		Source: lcg + g721Common + `
+func main() int {
+    int n = 700;
+    int *codes;
+    int *pcm;
+    codes = malloc(n * 8);
+    pcm = malloc(n * 8);
+    int i;
+    for (i = 0; i < n; i = i + 1) { codes[i] = rnd(16); }
+    for (i = 0; i < n; i = i + 1) {
+        int se = predict();
+        int dq = reconstruct(codes[i]);
+        updateState(codes[i], dq);
+        int val = se + dq;
+        if (val > 32767) { val = 32767; }
+        if (val < -32768) { val = -32768; }
+        pcm[i] = val;
+    }
+    int sum = 0;
+    for (i = 0; i < n; i = i + 1) { sum = sum + pcm[i] % 127; }
+    return (sum + predState[2]) % 1000003;
+}`,
+	})
+}
+
+const gsmCommon = `
+global int lpcCoef[8] = {13107, 8192, 4096, 2048, 1024, 512, 256, 128};
+global int ltpGain[4] = {3277, 11469, 21299, 32767};
+global int history[40];
+global int gsmState[4];
+
+// shortTermFilter runs an 8-tap lattice-like filter over one 40-sample
+// subframe held in buf, using and updating the shared history.
+func shortTermFilter(int *buf, int len) {
+    int i;
+    int j;
+    for (i = 0; i < len; i = i + 1) {
+        int acc = buf[i] * 16384;
+        for (j = 0; j < 8; j = j + 1) {
+            int h = 0;
+            if (i - j - 1 >= 0) { h = buf[i - j - 1]; } else { h = history[40 + i - j - 1]; }
+            acc = acc - lpcCoef[j] * h;
+        }
+        buf[i] = acc / 16384;
+    }
+    for (i = 0; i < 40; i = i + 1) {
+        if (len - 40 + i >= 0) { history[i] = buf[len - 40 + i]; }
+    }
+}
+
+// ltpSearch finds the best lag in [1,16] maximizing correlation with the
+// history, returning lag*4 + gain index.
+func ltpSearch(int *buf, int len) int {
+    int bestLag = 1;
+    int bestCorr = -1000000000;
+    int lag;
+    for (lag = 1; lag <= 16; lag = lag + 1) {
+        int corr = 0;
+        int i;
+        for (i = 0; i < len; i = i + 1) {
+            int h = 0;
+            if (i - lag >= 0) { h = buf[i - lag]; } else { h = history[40 + i - lag]; }
+            corr = corr + buf[i] * h;
+        }
+        if (corr > bestCorr) { bestCorr = corr; bestLag = lag; }
+    }
+    int g = 0;
+    if (bestCorr > 0) { g = bestCorr % 4; }
+    return bestLag * 4 + g;
+}
+`
+
+func init() {
+	register(Benchmark{
+		Name: "gsmencode",
+		Want: 5533,
+		Source: lcg + gsmCommon + `
+func main() int {
+    int frames = 12;
+    int *frame;
+    int *params;
+    frame = malloc(40 * 8);
+    params = malloc(frames * 8);
+    int f;
+    int sum = 0;
+    for (f = 0; f < frames; f = f + 1) {
+        int i;
+        for (i = 0; i < 40; i = i + 1) { frame[i] = srnd(4000); }
+        shortTermFilter(frame, 40);
+        int p = ltpSearch(frame, 40);
+        params[f] = p;
+        int g = ltpGain[p % 4];
+        gsmState[0] = gsmState[0] + g % 1000;
+        sum = sum + p;
+    }
+    return (sum + gsmState[0]) % 1000003;
+}`,
+	})
+
+	register(Benchmark{
+		Name: "gsmdecode",
+		Want: 2273,
+		Source: lcg + gsmCommon + `
+func main() int {
+    int frames = 12;
+    int *frame;
+    frame = malloc(40 * 8);
+    int f;
+    int sum = 0;
+    for (f = 0; f < frames; f = f + 1) {
+        int lagParam = rnd(64) + 4;
+        int lag = lagParam / 4;
+        int gain = ltpGain[lagParam % 4];
+        int i;
+        for (i = 0; i < 40; i = i + 1) {
+            int h = 0;
+            if (i - lag >= 0) { h = frame[i - lag]; } else { h = history[40 + i - lag]; }
+            frame[i] = (srnd(500) * 8 + gain * h / 32768);
+        }
+        shortTermFilter(frame, 40);
+        for (i = 0; i < 40; i = i + 1) { sum = sum + frame[i] % 31; }
+    }
+    return (sum + history[5]) % 1000003;
+}`,
+	})
+}

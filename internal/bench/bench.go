@@ -1,0 +1,72 @@
+// Package bench contains the benchmark programs the evaluation runs,
+// written in mclang. They are synthetic stand-ins for the paper's suite
+// (Mediabench applications plus DSP kernels, §4.1): each mirrors the data
+// objects and access structure of the original's hot kernel — lookup
+// tables, coefficient arrays, heap-allocated sample buffers, and state —
+// at sizes small enough to profile by interpretation.
+//
+// Every program is deterministic: inputs come from an in-language linear
+// congruential generator, and main() returns a checksum the test suite
+// pins.
+package bench
+
+import "fmt"
+
+// Benchmark is one evaluation program.
+type Benchmark struct {
+	// Name matches the paper's benchmark naming where applicable.
+	Name string
+	// Source is the mclang program text.
+	Source string
+	// Want is main's expected return value (determinism pin).
+	Want int64
+	// Exhaustive marks the benchmarks small enough for the Figure 9
+	// exhaustive data-mapping search.
+	Exhaustive bool
+}
+
+var registry []Benchmark
+
+func register(b Benchmark) {
+	registry = append(registry, b)
+}
+
+// All returns every benchmark in registration (paper listing) order.
+func All() []Benchmark {
+	out := make([]Benchmark, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Get returns the named benchmark.
+func Get(name string) (Benchmark, error) {
+	for _, b := range registry {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("bench: unknown benchmark %q", name)
+}
+
+// Names lists all benchmark names in order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, b := range registry {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// lcg is the shared input generator prelude: a deterministic linear
+// congruential generator plus helpers, prepended to sources that use it.
+const lcg = `
+global int lcg_seed = 12345;
+func lcg_next() int {
+    lcg_seed = (lcg_seed * 1103515245 + 12345) % 2147483648;
+    return lcg_seed;
+}
+// rnd returns a value in [0, m).
+func rnd(int m) int { return lcg_next() % m; }
+// srnd returns a value in [-m, m).
+func srnd(int m) int { return lcg_next() % (2 * m) - m; }
+`

@@ -1,0 +1,220 @@
+package bench
+
+// DSP kernels from the paper's second suite: fir (finite impulse response
+// filter), fsed (Floyd–Steinberg error diffusion — called out in §4.4 for
+// its heavy intercluster traffic), sobel (3x3 edge detection), halftone
+// (ordered dithering against a Bayer matrix), and viterbi (add-compare-
+// select trellis decoding with separate metric and traceback arrays).
+
+func init() {
+	register(Benchmark{
+		Name:       "fir",
+		Want:       -218,
+		Exhaustive: true,
+		Source: lcg + `
+global int coeffs[32] = {
+    3, -5, 8, -12, 17, -23, 31, -40,
+    51, -63, 78, -94, 113, -133, 156, -180,
+    180, -156, 133, -113, 94, -78, 63, -51,
+    40, -31, 23, -17, 12, -8, 5, -3};
+global int firState[32];
+
+func fir(int *x, int *y, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        int j;
+        for (j = 31; j > 0; j = j - 1) { firState[j] = firState[j - 1]; }
+        firState[0] = x[i];
+        int acc = 0;
+        for (j = 0; j < 32; j = j + 1) { acc = acc + coeffs[j] * firState[j]; }
+        y[i] = acc / 1024;
+    }
+}
+
+func main() int {
+    int n = 400;
+    int *x;
+    int *y;
+    x = malloc(n * 8);
+    y = malloc(n * 8);
+    int i;
+    for (i = 0; i < n; i = i + 1) { x[i] = srnd(1000); }
+    fir(x, y, n);
+    int sum = 0;
+    for (i = 0; i < n; i = i + 1) { sum = sum + y[i] % 211; }
+    return sum % 1000003;
+}`,
+	})
+
+	register(Benchmark{
+		Name: "fsed",
+		Want: 3134,
+		Source: lcg + `
+global int srcImg[1024];
+global int dstImg[1024];
+global int errRow[66];
+
+func fsed(int rows, int cols) {
+    int r;
+    for (r = 0; r < rows; r = r + 1) {
+        int carry = 0;
+        int c;
+        for (c = 0; c < cols; c = c + 1) {
+            int v = srcImg[r * cols + c] + errRow[c + 1] + carry;
+            int out = 0;
+            if (v > 127) { out = 255; }
+            dstImg[r * cols + c] = out;
+            int e = v - out;
+            carry = e * 7 / 16;
+            errRow[c] = errRow[c] + e * 3 / 16;
+            errRow[c + 1] = e * 5 / 16;
+            errRow[c + 2] = errRow[c + 2] + e / 16;
+        }
+    }
+}
+
+func main() int {
+    int i;
+    for (i = 0; i < 1024; i = i + 1) { srcImg[i] = rnd(256); }
+    for (i = 0; i < 66; i = i + 1) { errRow[i] = 0; }
+    fsed(32, 32);
+    int sum = 0;
+    for (i = 0; i < 1024; i = i + 1) { sum = sum + dstImg[i] / 255 * (1 + i % 11); }
+    return sum % 1000003;
+}`,
+	})
+
+	register(Benchmark{
+		Name: "sobel",
+		Want: 403897,
+		Source: lcg + `
+global int gray[1024];
+global int edges[1024];
+global int gxMask[9] = {-1, 0, 1, -2, 0, 2, -1, 0, 1};
+global int gyMask[9] = {-1, -2, -1, 0, 0, 0, 1, 2, 1};
+
+func sobel(int rows, int cols) {
+    int r;
+    for (r = 1; r < rows - 1; r = r + 1) {
+        int c;
+        for (c = 1; c < cols - 1; c = c + 1) {
+            int gx = 0;
+            int gy = 0;
+            int k;
+            for (k = 0; k < 9; k = k + 1) {
+                int px = gray[(r + k / 3 - 1) * cols + c + k % 3 - 1];
+                gx = gx + gxMask[k] * px;
+                gy = gy + gyMask[k] * px;
+            }
+            if (gx < 0) { gx = -gx; }
+            if (gy < 0) { gy = -gy; }
+            int mag = gx + gy;
+            if (mag > 255) { mag = 255; }
+            edges[r * cols + c] = mag;
+        }
+    }
+}
+
+func main() int {
+    int i;
+    for (i = 0; i < 1024; i = i + 1) { gray[i] = rnd(256); }
+    sobel(32, 32);
+    int sum = 0;
+    for (i = 0; i < 1024; i = i + 1) { sum = sum + edges[i] * (1 + i % 3); }
+    return sum % 1000003;
+}`,
+	})
+
+	register(Benchmark{
+		Name:       "halftone",
+		Want:       3532,
+		Exhaustive: true,
+		Source: lcg + `
+global int pic[1024];
+global int bayer[16] = {0, 8, 2, 10, 12, 4, 14, 6, 3, 11, 1, 9, 15, 7, 13, 5};
+global int toner[1024];
+
+func halftone(int rows, int cols) {
+    int r;
+    for (r = 0; r < rows; r = r + 1) {
+        int c;
+        for (c = 0; c < cols; c = c + 1) {
+            int threshold = bayer[(r % 4) * 4 + c % 4] * 16 + 8;
+            int v = 0;
+            if (pic[r * cols + c] > threshold) { v = 1; }
+            toner[r * cols + c] = v;
+        }
+    }
+}
+
+func main() int {
+    int i;
+    for (i = 0; i < 1024; i = i + 1) { pic[i] = rnd(256); }
+    halftone(32, 32);
+    int sum = 0;
+    for (i = 0; i < 1024; i = i + 1) { sum = sum + toner[i] * (1 + i % 13); }
+    return sum % 1000003;
+}`,
+	})
+
+	register(Benchmark{
+		Name: "viterbi",
+		Want: 481,
+		Source: lcg + `
+global int pathMetric[64];
+global int newMetric[64];
+global int branchTable[128];
+global int traceback[2048];
+
+func initTrellis() {
+    int i;
+    for (i = 0; i < 64; i = i + 1) { pathMetric[i] = 1000; }
+    pathMetric[0] = 0;
+    for (i = 0; i < 128; i = i + 1) { branchTable[i] = (i * 37 % 4); }
+}
+
+// acsStep runs one add-compare-select stage against the received pair r.
+func acsStep(int t, int r) {
+    int s;
+    for (s = 0; s < 64; s = s + 1) {
+        int p0 = s / 2;
+        int p1 = s / 2 + 32;
+        int b0 = branchTable[(s * 2) % 128] ^ r;
+        int b1 = branchTable[(s * 2 + 1) % 128] ^ r;
+        int c0 = (b0 & 1) + (b0 >> 1 & 1);
+        int c1 = (b1 & 1) + (b1 >> 1 & 1);
+        int m0 = pathMetric[p0] + c0;
+        int m1 = pathMetric[p1] + c1;
+        if (m0 <= m1) {
+            newMetric[s] = m0;
+            traceback[t * 64 + s] = p0;
+        } else {
+            newMetric[s] = m1;
+            traceback[t * 64 + s] = p1;
+        }
+    }
+    for (s = 0; s < 64; s = s + 1) { pathMetric[s] = newMetric[s]; }
+}
+
+func main() int {
+    initTrellis();
+    int steps = 32;
+    int t;
+    for (t = 0; t < steps; t = t + 1) {
+        acsStep(t, rnd(4));
+    }
+    // Trace back from the best final state.
+    int best = 0;
+    int s;
+    for (s = 1; s < 64; s = s + 1) {
+        if (pathMetric[s] < pathMetric[best]) { best = s; }
+    }
+    int sum = 0;
+    for (t = steps - 1; t >= 0; t = t - 1) {
+        sum = sum + best;
+        best = traceback[t * 64 + best];
+    }
+    return (sum + pathMetric[best % 64]) % 1000003;
+}`,
+	})
+}

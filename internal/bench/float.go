@@ -1,0 +1,125 @@
+package bench
+
+// Floating-point benchmarks in the spirit of Mediabench's mesa and rasta:
+// mesatx runs a 4x4-matrix vertex-transform pipeline over a heap vertex
+// buffer (mesa's texgen/transform hot loop); rastaflt runs a critical-band
+// filterbank of first-order IIR filters over framed audio (rasta's PLP
+// front end). Both keep their float state in global coefficient tables and
+// per-channel state arrays, so the float units and the float data path of
+// the partitioners get exercised end to end.
+
+func init() {
+	register(Benchmark{
+		Name: "mesatx",
+		Want: 7798,
+		Source: lcg + `
+global float viewMat[16] = {
+    0.7, -0.2, 0.1, 0.0,
+    0.3, 0.8, -0.1, 0.0,
+    -0.2, 0.1, 0.9, 0.0,
+    1.5, -2.0, 0.25, 1.0};
+global float projMat[16] = {
+    1.2, 0.0, 0.0, 0.0,
+    0.0, 1.6, 0.0, 0.0,
+    0.0, 0.0, -1.05, -1.0,
+    0.0, 0.0, -2.1, 0.0};
+global int litCount;
+
+func transform(float *vin, float *vout, int n) {
+    int v;
+    for (v = 0; v < n; v = v + 1) {
+        float x = vin[v * 4];
+        float y = vin[v * 4 + 1];
+        float z = vin[v * 4 + 2];
+        float w = vin[v * 4 + 3];
+        // Two chained 4x4 transforms, fully unrolled dot products.
+        float ex = x * viewMat[0] + y * viewMat[4] + z * viewMat[8] + w * viewMat[12];
+        float ey = x * viewMat[1] + y * viewMat[5] + z * viewMat[9] + w * viewMat[13];
+        float ez = x * viewMat[2] + y * viewMat[6] + z * viewMat[10] + w * viewMat[14];
+        float ew = x * viewMat[3] + y * viewMat[7] + z * viewMat[11] + w * viewMat[15];
+        float cx = ex * projMat[0] + ey * projMat[4] + ez * projMat[8] + ew * projMat[12];
+        float cy = ex * projMat[1] + ey * projMat[5] + ez * projMat[9] + ew * projMat[13];
+        float cz = ex * projMat[2] + ey * projMat[6] + ez * projMat[10] + ew * projMat[14];
+        float cw = ex * projMat[3] + ey * projMat[7] + ez * projMat[11] + ew * projMat[15];
+        if (cw < 0.0001 && cw > -0.0001) { cw = 1.0; }
+        vout[v * 4] = cx / cw;
+        vout[v * 4 + 1] = cy / cw;
+        vout[v * 4 + 2] = cz / cw;
+        vout[v * 4 + 3] = 1.0;
+        if (cz < 0.0) { litCount = litCount + 1; }
+    }
+}
+
+func main() int {
+    int n = 160;
+    float *vin;
+    float *vout;
+    vin = (float*)malloc(n * 4 * 8);
+    vout = (float*)malloc(n * 4 * 8);
+    int i;
+    for (i = 0; i < n * 4; i = i + 1) {
+        vin[i] = (float)(srnd(100)) / 10.0;
+    }
+    transform(vin, vout, n);
+    int sum = 0;
+    for (i = 0; i < n * 4; i = i + 1) {
+        sum = sum + (int)(vout[i] * 16.0) % 257;
+    }
+    return (sum + litCount) % 1000003;
+}`,
+	})
+
+	register(Benchmark{
+		Name: "rastaflt",
+		Want: 77668,
+		Source: lcg + `
+global float bandCoef[16] = {
+    0.98, 0.96, 0.94, 0.92, 0.90, 0.88, 0.86, 0.84,
+    0.82, 0.80, 0.78, 0.76, 0.74, 0.72, 0.70, 0.68};
+global float bandGain[16] = {
+    0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55,
+    0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95};
+global float bandState[16];
+global float energy[16];
+
+// filterFrame runs 16 first-order IIR band filters over one frame and
+// accumulates per-band energy.
+func filterFrame(float *frame, int len) {
+    int b;
+    for (b = 0; b < 16; b = b + 1) {
+        float s = bandState[b];
+        float a = bandCoef[b];
+        float g = bandGain[b];
+        float e = 0.0;
+        int i;
+        for (i = 0; i < len; i = i + 1) {
+            s = a * s + g * frame[i];
+            e = e + s * s;
+        }
+        bandState[b] = s;
+        energy[b] = energy[b] + e;
+    }
+}
+
+func main() int {
+    int frames = 24;
+    int flen = 48;
+    float *frame;
+    frame = (float*)malloc(flen * 8);
+    int f;
+    for (f = 0; f < frames; f = f + 1) {
+        int i;
+        for (i = 0; i < flen; i = i + 1) {
+            frame[i] = (float)(srnd(1000)) / 100.0;
+        }
+        filterFrame(frame, flen);
+    }
+    int sum = 0;
+    int b;
+    for (b = 0; b < 16; b = b + 1) {
+        sum = sum + (int)(energy[b]) % 9973 + (int)(bandState[b] * 8.0);
+    }
+    return sum % 1000003;
+}`,
+	})
+}

@@ -1,0 +1,203 @@
+package bench
+
+// JPEG kernels (cjpeg: forward DCT + quantization with zigzag; djpeg:
+// dequantization + inverse transform) and EPIC-style pyramid coding
+// (epic: separable lowpass/highpass decomposition; unepic: reconstruction).
+
+const jpegCommon = `
+global int image[1024];
+global int jQuant[64] = {
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99};
+global int zigzag[64] = {
+    0, 1, 8, 16, 9, 2, 3, 10,
+    17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63};
+global int workBlk[64];
+global int tmpBlk[64];
+
+// fdct8 is a separable integer forward transform on workBlk.
+func fdct8() {
+    int i;
+    int j;
+    int k;
+    for (i = 0; i < 8; i = i + 1) {
+        for (j = 0; j < 8; j = j + 1) {
+            int acc = 0;
+            for (k = 0; k < 8; k = k + 1) {
+                int c = 7 - ((j * (2 * k + 1)) % 13);
+                acc = acc + workBlk[i * 8 + k] * c;
+            }
+            tmpBlk[i * 8 + j] = acc / 4;
+        }
+    }
+    for (j = 0; j < 8; j = j + 1) {
+        for (i = 0; i < 8; i = i + 1) {
+            int acc = 0;
+            for (k = 0; k < 8; k = k + 1) {
+                int c = 7 - ((i * (2 * k + 1)) % 13);
+                acc = acc + tmpBlk[k * 8 + j] * c;
+            }
+            workBlk[i * 8 + j] = acc / 32;
+        }
+    }
+}
+`
+
+func init() {
+	register(Benchmark{
+		Name: "cjpeg",
+		Want: -1012,
+		Source: lcg + jpegCommon + `
+global int coded[1024];
+
+func main() int {
+    int i;
+    for (i = 0; i < 1024; i = i + 1) { image[i] = rnd(256) - 128; }
+    int by;
+    int sum = 0;
+    for (by = 0; by < 4; by = by + 1) {
+        int bx;
+        for (bx = 0; bx < 4; bx = bx + 1) {
+            int y;
+            for (y = 0; y < 8; y = y + 1) {
+                int x;
+                for (x = 0; x < 8; x = x + 1) {
+                    workBlk[y * 8 + x] = image[(by * 8 + y) * 32 + bx * 8 + x];
+                }
+            }
+            fdct8();
+            for (i = 0; i < 64; i = i + 1) {
+                int q = workBlk[zigzag[i]] / jQuant[i];
+                coded[(by * 4 + bx) * 64 + i] = q;
+                sum = sum + q * (1 + i % 3);
+            }
+        }
+    }
+    return sum % 1000003;
+}`,
+	})
+
+	register(Benchmark{
+		Name: "djpeg",
+		Want: 411449,
+		Source: lcg + jpegCommon + `
+global int decoded[1024];
+
+func main() int {
+    int sum = 0;
+    int blk;
+    int i;
+    for (blk = 0; blk < 16; blk = blk + 1) {
+        for (i = 0; i < 64; i = i + 1) { workBlk[i] = 0; }
+        // Sparse coefficients, as in real entropy-decoded blocks.
+        int nz = 8 + rnd(8);
+        for (i = 0; i < nz; i = i + 1) {
+            int pos = rnd(64);
+            workBlk[zigzag[pos]] = srnd(30) * jQuant[pos];
+        }
+        fdct8();
+        for (i = 0; i < 64; i = i + 1) {
+            int v = workBlk[i] / 8 + 128;
+            if (v < 0) { v = 0; }
+            if (v > 255) { v = 255; }
+            decoded[blk * 64 + i] = v;
+        }
+    }
+    for (i = 0; i < 1024; i = i + 1) { sum = sum + decoded[i] * (1 + i % 5); }
+    return sum % 1000003;
+}`,
+	})
+}
+
+const epicCommon = `
+global int img[1024];
+global int lowTap[5] = {1, 4, 6, 4, 1};
+global int highTap[5] = {-1, -2, 6, -2, -1};
+global int pyramid[1024];
+`
+
+func init() {
+	register(Benchmark{
+		Name: "epic",
+		Want: 195425,
+		Source: lcg + epicCommon + `
+// decompose filters each row into a low half and a high half.
+func decompose(int rows, int cols) {
+    int r;
+    for (r = 0; r < rows; r = r + 1) {
+        int c;
+        for (c = 0; c < cols; c = c + 2) {
+            int lo = 0;
+            int hi = 0;
+            int k;
+            for (k = 0; k < 5; k = k + 1) {
+                int idx = c + k - 2;
+                if (idx < 0) { idx = -idx; }
+                if (idx >= cols) { idx = 2 * cols - idx - 2; }
+                int px = img[r * cols + idx];
+                lo = lo + lowTap[k] * px;
+                hi = hi + highTap[k] * px;
+            }
+            pyramid[r * cols + c / 2] = lo / 16;
+            pyramid[r * cols + cols / 2 + c / 2] = hi / 16;
+        }
+    }
+}
+
+func main() int {
+    int i;
+    for (i = 0; i < 1024; i = i + 1) { img[i] = rnd(256); }
+    decompose(32, 32);
+    // Second level on the low band.
+    for (i = 0; i < 1024; i = i + 1) { img[i] = pyramid[i]; }
+    decompose(32, 16);
+    int sum = 0;
+    for (i = 0; i < 1024; i = i + 1) { sum = sum + pyramid[i] * (1 + i % 7); }
+    return sum % 1000003;
+}`,
+	})
+
+	register(Benchmark{
+		Name: "unepic",
+		Want: 1284,
+		Source: lcg + epicCommon + `
+// reconstruct merges low/high halves of each row back into img.
+func reconstruct(int rows, int cols) {
+    int r;
+    for (r = 0; r < rows; r = r + 1) {
+        int c;
+        for (c = 0; c < cols; c = c + 2) {
+            int lo = pyramid[r * cols + c / 2];
+            int hi = pyramid[r * cols + cols / 2 + c / 2];
+            img[r * cols + c] = lo + hi;
+            img[r * cols + c + 1] = lo - hi;
+        }
+    }
+}
+
+func main() int {
+    int i;
+    for (i = 0; i < 1024; i = i + 1) { pyramid[i] = srnd(128); }
+    reconstruct(32, 32);
+    // Smooth pass over the reconstruction (models the synthesis filter).
+    int sum = 0;
+    for (i = 2; i < 1022; i = i + 1) {
+        int v = (img[i - 2] + 4 * img[i - 1] + 6 * img[i] + 4 * img[i + 1] + img[i + 2]) / 16;
+        sum = sum + v % 251;
+    }
+    return sum % 1000003;
+}`,
+	})
+}

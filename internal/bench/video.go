@@ -1,0 +1,150 @@
+package bench
+
+// MPEG-2 kernels: mpeg2enc's hot loop is block motion estimation (sum of
+// absolute differences over a search window); mpeg2dec's is dequantization
+// plus the inverse DCT with saturation via a clip table.
+
+const mpegCommon = `
+global int refFrame[1024];
+global int curFrame[1024];
+global int quantTable[64] = {
+    8, 16, 19, 22, 26, 27, 29, 34,
+    16, 16, 22, 24, 27, 29, 34, 37,
+    19, 22, 26, 27, 29, 34, 34, 38,
+    22, 22, 26, 27, 29, 34, 37, 40,
+    22, 26, 27, 29, 32, 35, 40, 48,
+    26, 27, 29, 32, 35, 40, 48, 58,
+    26, 27, 29, 34, 38, 46, 56, 69,
+    27, 29, 35, 38, 46, 56, 69, 83};
+global int clipTable[512];
+
+func initClip() {
+    int i;
+    for (i = 0; i < 512; i = i + 1) {
+        int v = i - 128;
+        if (v < 0) { v = 0; }
+        if (v > 255) { v = 255; }
+        clipTable[i] = v;
+    }
+}
+`
+
+func init() {
+	register(Benchmark{
+		Name: "mpeg2enc",
+		Want: 15840,
+		Source: lcg + mpegCommon + `
+// sad computes the 8x8 sum of absolute differences between the current
+// block at (bx,by) and the reference block displaced by (dx,dy).
+func sad(int bx, int by, int dx, int dy) int {
+    int acc = 0;
+    int y;
+    for (y = 0; y < 8; y = y + 1) {
+        int x;
+        for (x = 0; x < 8; x = x + 1) {
+            int cy = by + y;
+            int cx = bx + x;
+            int ry = cy + dy;
+            int rx = cx + dx;
+            int d = curFrame[cy * 32 + cx] - refFrame[ry * 32 + rx];
+            if (d < 0) { d = -d; }
+            acc = acc + d;
+        }
+    }
+    return acc;
+}
+
+func motionSearch(int bx, int by) int {
+    int best = 1000000000;
+    int bestVec = 0;
+    int dy;
+    for (dy = -2; dy <= 2; dy = dy + 1) {
+        int dx;
+        for (dx = -2; dx <= 2; dx = dx + 1) {
+            if (by + dy >= 0 && by + dy + 8 <= 32 && bx + dx >= 0 && bx + dx + 8 <= 32) {
+                int s = sad(bx, by, dx, dy);
+                if (s < best) { best = s; bestVec = (dy + 2) * 8 + dx + 2; }
+            }
+        }
+    }
+    return best + bestVec;
+}
+
+func main() int {
+    int i;
+    for (i = 0; i < 1024; i = i + 1) {
+        refFrame[i] = rnd(256);
+        curFrame[i] = (refFrame[i] + srnd(16) + 256) % 256;
+    }
+    int sum = 0;
+    int by;
+    for (by = 0; by < 32; by = by + 8) {
+        int bx;
+        for (bx = 0; bx < 32; bx = bx + 8) {
+            sum = sum + motionSearch(bx, by);
+        }
+    }
+    return sum % 1000003;
+}`,
+	})
+
+	register(Benchmark{
+		Name: "mpeg2dec",
+		Want: 21720,
+		Source: lcg + mpegCommon + `
+global int block[64];
+global int idctTmp[64];
+
+// idct8 runs a separable integer 8x8 inverse transform (butterfly-free
+// matrix form with small fixed coefficients).
+func idct8() {
+    int i;
+    int j;
+    int k;
+    for (i = 0; i < 8; i = i + 1) {
+        for (j = 0; j < 8; j = j + 1) {
+            int acc = 0;
+            for (k = 0; k < 8; k = k + 1) {
+                int c = 8 - ((j * (2 * k + 1)) % 15);
+                acc = acc + block[i * 8 + k] * c;
+            }
+            idctTmp[i * 8 + j] = acc / 8;
+        }
+    }
+    for (j = 0; j < 8; j = j + 1) {
+        for (i = 0; i < 8; i = i + 1) {
+            int acc = 0;
+            for (k = 0; k < 8; k = k + 1) {
+                int c = 8 - ((i * (2 * k + 1)) % 15);
+                acc = acc + idctTmp[k * 8 + j] * c;
+            }
+            block[i * 8 + j] = acc / 64;
+        }
+    }
+}
+
+func main() int {
+    initClip();
+    int nblocks = 12;
+    int sum = 0;
+    int b;
+    for (b = 0; b < nblocks; b = b + 1) {
+        int i;
+        for (i = 0; i < 64; i = i + 1) {
+            int coef = srnd(32);
+            block[i] = coef * quantTable[i] / 16;
+        }
+        idct8();
+        for (i = 0; i < 64; i = i + 1) {
+            int v = block[i] % 256 + 128;
+            if (v < 0) { v = 0; }
+            if (v > 511) { v = 511; }
+            curFrame[(b * 64 + i) % 1024] = clipTable[v];
+        }
+    }
+    int i;
+    for (i = 0; i < 1024; i = i + 1) { sum = sum + curFrame[i] * (1 + i % 3); }
+    return sum % 1000003;
+}`,
+	})
+}

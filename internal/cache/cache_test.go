@@ -1,0 +1,190 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mcpart/internal/gdp"
+	"mcpart/internal/mclang"
+	"mcpart/internal/pointsto"
+)
+
+func TestConfigValidation(t *testing.T) {
+	good := Config{SizeBytes: 1024, LineBytes: 32, Assoc: 2, MissPenalty: 20}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SizeBytes: 1024, LineBytes: 24, Assoc: 2},     // non-power-of-two line
+		{SizeBytes: 1024, LineBytes: 32, Assoc: 0},     // zero ways
+		{SizeBytes: 16, LineBytes: 32, Assoc: 1},       // size < one line
+		{SizeBytes: 96 * 32, LineBytes: 32, Assoc: 32}, // 3 sets
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestDirectMappedBehavior(t *testing.T) {
+	// 4 sets x 1 way x 16-byte lines = 64 bytes.
+	c, err := New(Config{SizeBytes: 64, LineBytes: 16, Assoc: 1, MissPenalty: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(0) {
+		t.Error("cold miss expected")
+	}
+	if !c.Access(8) {
+		t.Error("same line should hit")
+	}
+	if c.Access(64) { // maps to set 0, evicts line 0
+		t.Error("conflicting line should miss")
+	}
+	if c.Access(0) {
+		t.Error("original line was evicted; should miss")
+	}
+	if c.Hits != 1 || c.Misses != 3 {
+		t.Errorf("hits/misses = %d/%d, want 1/3", c.Hits, c.Misses)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 1 set x 2 ways x 16-byte lines.
+	c, err := New(Config{SizeBytes: 32, LineBytes: 16, Assoc: 2, MissPenalty: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0)  // miss, way A
+	c.Access(16) // miss, way B
+	c.Access(0)  // hit, A becomes MRU
+	c.Access(32) // miss, evicts LRU = line 16
+	if !c.Access(0) {
+		t.Error("MRU line evicted instead of LRU")
+	}
+	if c.Access(16) {
+		t.Error("LRU line should have been evicted")
+	}
+}
+
+// Property: hit count never exceeds accesses, and a cache of the same
+// geometry is deterministic.
+func TestCacheDeterministicQuick(t *testing.T) {
+	cfg := Config{SizeBytes: 512, LineBytes: 32, Assoc: 2, MissPenalty: 5}
+	if err := quick.Check(func(addrs []uint16) bool {
+		c1, _ := New(cfg)
+		c2, _ := New(cfg)
+		for _, a := range addrs {
+			h1 := c1.Access(uint64(a))
+			h2 := c2.Access(uint64(a))
+			if h1 != h2 {
+				return false
+			}
+		}
+		return c1.Hits+c1.Misses == int64(len(addrs))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a fully-associative cache of size >= footprint has only cold
+// misses (one per distinct line).
+func TestColdMissesOnlyQuick(t *testing.T) {
+	if err := quick.Check(func(raw []uint8) bool {
+		cfg := Config{SizeBytes: 4096, LineBytes: 16, Assoc: 256, MissPenalty: 1}
+		c, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		lines := map[uint64]bool{}
+		for _, r := range raw {
+			addr := uint64(r) * 8
+			c.Access(addr)
+			lines[addr/16] = true
+		}
+		return c.Misses == int64(len(lines))
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+const streamSrc = `
+global int a[512];
+global int b[512];
+func main() int {
+    int i;
+    int s = 0;
+    for (i = 0; i < 512; i = i + 1) { a[i] = i; }
+    for (i = 0; i < 512; i = i + 1) { b[i] = a[i] * 2; }
+    for (i = 0; i < 512; i = i + 1) { s = s + a[i] + b[i]; }
+    return s;
+}`
+
+func TestCollectTrace(t *testing.T) {
+	mod, err := mclang.Compile(streamSrc, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pointsto.Analyze(mod)
+	tr, err := Collect(mod, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 512 stores + (512 loads + 512 stores) + 1024 loads = 2560 accesses.
+	if len(tr) != 2560 {
+		t.Fatalf("trace has %d accesses, want 2560", len(tr))
+	}
+	stores := 0
+	for _, a := range tr {
+		if a.Store {
+			stores++
+		}
+	}
+	if stores != 1024 {
+		t.Errorf("stores = %d, want 1024", stores)
+	}
+}
+
+func TestPartitionedVsUnifiedReplay(t *testing.T) {
+	mod, err := mclang.Compile(streamSrc, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pointsto.Analyze(mod)
+	tr, err := Collect(mod, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{SizeBytes: 2048, LineBytes: 32, Assoc: 2, MissPenalty: 20}
+	// Split a|b: each array streams through its own 2 KiB cache.
+	split, err := ReplayPartitioned(tr, gdp.DataMap{0, 1}, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Colocated: both arrays fight over cluster 0's cache.
+	colo, err := ReplayPartitioned(tr, gdp.DataMap{0, 0}, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.TotalMiss > colo.TotalMiss {
+		t.Errorf("balanced placement missed more (%d) than colocated (%d)",
+			split.TotalMiss, colo.TotalMiss)
+	}
+	uni, err := ReplayUnified(tr, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unified cache has the combined capacity, so it cannot do worse
+	// than the colocated single small cache.
+	if uni.TotalMiss > colo.TotalMiss {
+		t.Errorf("unified (%d misses) worse than colocated small cache (%d)",
+			uni.TotalMiss, colo.TotalMiss)
+	}
+	if split.MissRate() < 0 || split.MissRate() > 1 {
+		t.Errorf("miss rate %v out of range", split.MissRate())
+	}
+	if split.ExtraCyc != split.TotalMiss*20 {
+		t.Errorf("penalty accounting wrong")
+	}
+}

@@ -1,0 +1,234 @@
+package cfg
+
+import (
+	"testing"
+
+	"mcpart/internal/ir"
+)
+
+// buildLoop constructs:
+//
+//	b0: i=0; br b1
+//	b1: c = i<n; brcond c, b2, b3
+//	b2: i = i+1; br b1
+//	b3: ret i
+func buildLoop(t testing.TB) *ir.Func {
+	m := ir.NewModule("loop")
+	bd := ir.NewBuilder(m, "f", 1)
+	head := bd.NewBlock()
+	body := bd.NewBlock()
+	exit := bd.NewBlock()
+	i := bd.Emit(ir.OpMov, ir.ConstInt(0))
+	bd.Br(head)
+	bd.SetBlock(head)
+	c := bd.Emit(ir.OpCmpLT, ir.Reg(i), ir.Reg(0))
+	bd.BrCond(ir.Reg(c), body, exit)
+	bd.SetBlock(body)
+	i2 := bd.Emit(ir.OpAdd, ir.Reg(i), ir.ConstInt(1))
+	bd.EmitVoid(ir.OpStore, ir.Reg(i2), ir.Reg(i2)) // dummy to vary op mix
+	bd.Br(head)
+	bd.SetBlock(exit)
+	bd.Ret(ir.Reg(i))
+	// Note: non-SSA reuse of i is emulated by treating i and i2 as the same
+	// conceptually; for analysis tests the distinction doesn't matter.
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	return m.Func("f")
+}
+
+func TestRPOStartsAtEntryAndCoversAll(t *testing.T) {
+	f := buildLoop(t)
+	rpo := RPO(f)
+	if len(rpo) != len(f.Blocks) {
+		t.Fatalf("RPO has %d blocks, want %d", len(rpo), len(f.Blocks))
+	}
+	if rpo[0] != f.Entry() {
+		t.Fatalf("RPO[0] = b%d, want entry", rpo[0].ID)
+	}
+	seen := map[int]bool{}
+	for _, b := range rpo {
+		if seen[b.ID] {
+			t.Fatalf("block b%d appears twice", b.ID)
+		}
+		seen[b.ID] = true
+	}
+}
+
+func TestDominators(t *testing.T) {
+	f := buildLoop(t)
+	idom := Dominators(f)
+	b := f.Blocks
+	if idom[b[0]] != b[0] {
+		t.Errorf("idom(entry) = %v", idom[b[0]])
+	}
+	if idom[b[1]] != b[0] {
+		t.Errorf("idom(b1) = %v, want b0", idom[b[1]])
+	}
+	if idom[b[2]] != b[1] {
+		t.Errorf("idom(b2) = %v, want b1", idom[b[2]])
+	}
+	if idom[b[3]] != b[1] {
+		t.Errorf("idom(b3) = %v, want b1", idom[b[3]])
+	}
+	if !Dominates(idom, b[0], b[3]) || !Dominates(idom, b[1], b[2]) {
+		t.Error("Dominates gave wrong answers")
+	}
+	if Dominates(idom, b[2], b[3]) {
+		t.Error("b2 should not dominate b3")
+	}
+}
+
+func TestLoops(t *testing.T) {
+	f := buildLoop(t)
+	loops := Loops(f)
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != f.Blocks[1] {
+		t.Errorf("loop header = b%d, want b1", l.Header.ID)
+	}
+	if !l.Blocks[f.Blocks[1]] || !l.Blocks[f.Blocks[2]] {
+		t.Errorf("loop body missing blocks: %v", l.Blocks)
+	}
+	if l.Blocks[f.Blocks[0]] || l.Blocks[f.Blocks[3]] {
+		t.Errorf("loop body includes non-loop blocks")
+	}
+	if l.Depth != 1 || l.Parent != nil {
+		t.Errorf("Depth=%d Parent=%v, want 1,nil", l.Depth, l.Parent)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	// b0 -> b1(outer head) -> b2(inner head) -> b3(inner body) -> b2 ;
+	// b2 -> b4 -> b1 ; b1 -> b5 ret
+	m := ir.NewModule("nest")
+	bd := ir.NewBuilder(m, "f", 1)
+	b1 := bd.NewBlock()
+	b2 := bd.NewBlock()
+	b3 := bd.NewBlock()
+	b4 := bd.NewBlock()
+	b5 := bd.NewBlock()
+	bd.Br(b1)
+	bd.SetBlock(b1)
+	c1 := bd.Emit(ir.OpCmpLT, ir.Reg(0), ir.ConstInt(10))
+	bd.BrCond(ir.Reg(c1), b2, b5)
+	bd.SetBlock(b2)
+	c2 := bd.Emit(ir.OpCmpLT, ir.Reg(0), ir.ConstInt(5))
+	bd.BrCond(ir.Reg(c2), b3, b4)
+	bd.SetBlock(b3)
+	bd.Br(b2)
+	bd.SetBlock(b4)
+	bd.Br(b1)
+	bd.SetBlock(b5)
+	bd.Ret()
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	f := m.Func("f")
+	loops := Loops(f)
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	outer, inner := loops[0], loops[1]
+	if outer.Header != b1 || inner.Header != b2 {
+		t.Fatalf("headers: %v %v", outer.Header, inner.Header)
+	}
+	if inner.Parent != outer || inner.Depth != 2 || outer.Depth != 1 {
+		t.Errorf("nesting wrong: inner.Parent=%v depths %d/%d",
+			inner.Parent, inner.Depth, outer.Depth)
+	}
+	depths := LoopDepths(f)
+	want := []int{0, 1, 2, 2, 1, 0}
+	for i, d := range want {
+		if depths[i] != d {
+			t.Errorf("depth(b%d) = %d, want %d", i, depths[i], d)
+		}
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	f := buildLoop(t)
+	lv := ComputeLiveness(f)
+	// v1 (i) is defined in b0, used in b1 (cmp) and b3 (ret): live-in at b1, b3.
+	if !lv.In[1][1] {
+		t.Error("v1 should be live-in at loop header")
+	}
+	if !lv.In[3][1] {
+		t.Error("v1 should be live-in at exit block")
+	}
+	// v2 (cond) is local to b1: not live-in anywhere but consumed in b1.
+	if lv.In[1][2] {
+		t.Error("v2 should not be live-in at its defining block")
+	}
+	// Param v0 is live-in at entry (used in b1's cmp).
+	if !lv.In[0][0] {
+		t.Error("param v0 should be live-in at entry")
+	}
+}
+
+func TestDefUse(t *testing.T) {
+	f := buildLoop(t)
+	du := ComputeDefUse(f)
+	ops := f.OpsByID()
+	// Find the add op; its result v3 feeds the store twice in the same block.
+	var add *ir.Op
+	for _, op := range ops {
+		if op.Opcode == ir.OpAdd {
+			add = op
+		}
+	}
+	if add == nil {
+		t.Fatal("no add op")
+	}
+	uses := du.UsesOf[add.ID]
+	if len(uses) != 1 {
+		t.Fatalf("add has %d distinct users, want 1 (the store)", len(uses))
+	}
+	store := ops[uses[0]]
+	if store.Opcode != ir.OpStore {
+		t.Fatalf("user of add is %s, want store", store.Opcode)
+	}
+	// The store's first arg def set should be exactly the add.
+	defs := du.DefsOf[store.ID][0]
+	if len(defs) != 1 || defs[0] != add.ID {
+		t.Fatalf("DefsOf(store)[0] = %v, want [%d]", defs, add.ID)
+	}
+}
+
+func TestFormRegions(t *testing.T) {
+	f := buildLoop(t)
+	regions := FormRegions(f)
+	if len(regions) != 3 {
+		t.Fatalf("got %d regions, want 3 (pre, loop, exit)", len(regions))
+	}
+	// The loop region must contain exactly b1 and b2.
+	var loopR *Region
+	for _, r := range regions {
+		if len(r.Blocks) == 2 {
+			loopR = r
+		}
+	}
+	if loopR == nil {
+		t.Fatal("no 2-block loop region")
+	}
+	if loopR.Blocks[0].ID != 1 || loopR.Blocks[1].ID != 2 {
+		t.Fatalf("loop region blocks = %v", loopR.Blocks)
+	}
+	// Every block in exactly one region.
+	count := map[int]int{}
+	for _, r := range regions {
+		for _, b := range r.Blocks {
+			count[b.ID]++
+		}
+	}
+	for id, c := range count {
+		if c != 1 {
+			t.Errorf("block b%d in %d regions", id, c)
+		}
+	}
+	if len(count) != len(f.Blocks) {
+		t.Errorf("regions cover %d blocks, want %d", len(count), len(f.Blocks))
+	}
+}

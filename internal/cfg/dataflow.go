@@ -1,0 +1,208 @@
+package cfg
+
+import (
+	"sort"
+
+	"mcpart/internal/ir"
+)
+
+// Liveness holds per-block live-in and live-out virtual register sets.
+type Liveness struct {
+	In  []map[ir.VReg]bool // indexed by block ID
+	Out []map[ir.VReg]bool
+}
+
+// ComputeLiveness runs the classic backwards iterative live-variable
+// analysis over a function.
+func ComputeLiveness(f *ir.Func) *Liveness {
+	n := len(f.Blocks)
+	use := make([]map[ir.VReg]bool, n)
+	def := make([]map[ir.VReg]bool, n)
+	for _, b := range f.Blocks {
+		u, d := map[ir.VReg]bool{}, map[ir.VReg]bool{}
+		for _, op := range b.Ops {
+			for _, a := range op.Args {
+				if a.IsReg() && !d[a.Reg] {
+					u[a.Reg] = true
+				}
+			}
+			if op.Dst != ir.NoReg {
+				d[op.Dst] = true
+			}
+		}
+		use[b.ID], def[b.ID] = u, d
+	}
+	lv := &Liveness{
+		In:  make([]map[ir.VReg]bool, n),
+		Out: make([]map[ir.VReg]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		lv.In[i] = map[ir.VReg]bool{}
+		lv.Out[i] = map[ir.VReg]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		// Iterate blocks in reverse ID order for faster convergence.
+		for i := n - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := lv.Out[b.ID]
+			for _, s := range b.Succs {
+				for r := range lv.In[s.ID] {
+					if !out[r] {
+						out[r] = true
+						changed = true
+					}
+				}
+			}
+			in := lv.In[b.ID]
+			for r := range use[b.ID] {
+				if !in[r] {
+					in[r] = true
+					changed = true
+				}
+			}
+			for r := range out {
+				if !def[b.ID][r] && !in[r] {
+					in[r] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return lv
+}
+
+// DefUse records, for each op, the ops that consume each value it defines,
+// and for each op, the defs that may reach each of its register uses.
+type DefUse struct {
+	// UsesOf[opID] lists ops (by ID) that use the value defined by opID.
+	UsesOf [][]int
+	// DefsOf[opID] lists op IDs whose definitions may reach opID's uses,
+	// one inner slice per register argument position.
+	DefsOf [][][]int
+	// DefsOfReg[r] lists all op IDs defining register r.
+	DefsOfReg map[ir.VReg][]int
+}
+
+// ComputeDefUse builds def-use chains with block-level precision: within a
+// block, the nearest preceding definition reaches a use; across blocks, any
+// definition of the register whose block can reach the use block (per
+// liveness) is considered reaching. This is conservative but exact enough
+// for graph construction, where an edge means "these two ops may need to
+// communicate a value".
+func ComputeDefUse(f *ir.Func) *DefUse {
+	lv := ComputeLiveness(f)
+	du := &DefUse{
+		UsesOf:    make([][]int, f.NOps),
+		DefsOf:    make([][][]int, f.NOps),
+		DefsOfReg: map[ir.VReg][]int{},
+	}
+	for _, b := range f.Blocks {
+		for _, op := range b.Ops {
+			if op.Dst != ir.NoReg {
+				du.DefsOfReg[op.Dst] = append(du.DefsOfReg[op.Dst], op.ID)
+			}
+		}
+	}
+	// Per-block walk tracking the latest local def of each register.
+	for _, b := range f.Blocks {
+		local := map[ir.VReg]int{} // reg -> defining op ID within this block
+		for _, op := range b.Ops {
+			du.DefsOf[op.ID] = make([][]int, len(op.Args))
+			for i, a := range op.Args {
+				if !a.IsReg() {
+					continue
+				}
+				if d, ok := local[a.Reg]; ok {
+					du.DefsOf[op.ID][i] = []int{d}
+					du.UsesOf[d] = append(du.UsesOf[d], op.ID)
+					continue
+				}
+				// Upwards-exposed use: all defs of the register in blocks
+				// where it is live-out reaching this block. Conservative:
+				// every def of the register counts if the reg is live-in
+				// here. Parameters (no defs) yield an empty set.
+				if lv.In[b.ID][a.Reg] || int(a.Reg) < f.NParams {
+					defs := du.DefsOfReg[a.Reg]
+					du.DefsOf[op.ID][i] = append([]int(nil), defs...)
+					for _, d := range defs {
+						du.UsesOf[d] = append(du.UsesOf[d], op.ID)
+					}
+				}
+			}
+			if op.Dst != ir.NoReg {
+				local[op.Dst] = op.ID
+			}
+		}
+	}
+	// Deduplicate and sort the use lists.
+	for i := range du.UsesOf {
+		du.UsesOf[i] = dedupInts(du.UsesOf[i])
+	}
+	return du
+}
+
+func dedupInts(xs []int) []int {
+	if len(xs) < 2 {
+		return xs
+	}
+	sort.Ints(xs)
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Region is a unit of computation partitioning: a set of basic blocks that
+// the operation partitioner considers together. Following RHOP, regions are
+// the bodies of innermost loops (where most execution time concentrates);
+// blocks outside any loop form singleton regions.
+type Region struct {
+	ID     int
+	Func   *ir.Func
+	Blocks []*ir.Block // in block-ID order
+}
+
+// FormRegions partitions a function's blocks into regions. Each block
+// belongs to exactly one region: the innermost loop containing it, or a
+// singleton. Regions are returned in order of their first block ID.
+func FormRegions(f *ir.Func) []*Region {
+	loops := Loops(f)
+	// innermost[b] = innermost loop containing block b.
+	innermost := make([]*Loop, len(f.Blocks))
+	for _, l := range loops {
+		for b := range l.Blocks {
+			cur := innermost[b.ID]
+			if cur == nil || l.Depth > cur.Depth {
+				innermost[b.ID] = l
+			}
+		}
+	}
+	regionOf := map[*Loop]*Region{}
+	var regions []*Region
+	for _, b := range f.Blocks {
+		l := innermost[b.ID]
+		if l == nil {
+			regions = append(regions, &Region{Func: f, Blocks: []*ir.Block{b}})
+			continue
+		}
+		r := regionOf[l]
+		if r == nil {
+			r = &Region{Func: f}
+			regionOf[l] = r
+			regions = append(regions, r)
+		}
+		r.Blocks = append(r.Blocks, b)
+	}
+	sort.Slice(regions, func(i, j int) bool {
+		return regions[i].Blocks[0].ID < regions[j].Blocks[0].ID
+	})
+	for i, r := range regions {
+		r.ID = i
+		sort.Slice(r.Blocks, func(a, b int) bool { return r.Blocks[a].ID < r.Blocks[b].ID })
+	}
+	return regions
+}

@@ -1,0 +1,387 @@
+// Package eval implements the paper's experimental methodology (§4): the
+// four object/computation partitioning schemes of Table 1 — GDP, Profile
+// Max, Naïve, and Unified memory — plus the metrics behind every figure:
+// relative performance (Figures 7 and 8), cycle increase of data-incognizant
+// partitioning (Figure 2), dynamic intercluster move counts (Figure 10),
+// the exhaustive data-mapping search (Figure 9), and detailed-partitioner
+// run counts and times (§4.5).
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mcpart/internal/gdp"
+	"mcpart/internal/interp"
+	"mcpart/internal/ir"
+	"mcpart/internal/machine"
+	"mcpart/internal/mclang"
+	"mcpart/internal/opt"
+	"mcpart/internal/pointsto"
+	"mcpart/internal/rhop"
+	"mcpart/internal/sched"
+)
+
+// Scheme names a partitioning strategy from Table 1.
+type Scheme string
+
+// The schemes of Table 1.
+const (
+	SchemeUnified    Scheme = "Unified"
+	SchemeGDP        Scheme = "GDP"
+	SchemeProfileMax Scheme = "ProfileMax"
+	SchemeNaive      Scheme = "Naive"
+)
+
+// Compiled is a benchmark after front end, points-to analysis and
+// profiling — the common input to every scheme.
+type Compiled struct {
+	Name string
+	Mod  *ir.Module
+	Prof *interp.Profile
+	Ret  int64 // main's checksum, for validation
+}
+
+// DefaultUnroll is the loop unrolling factor Prepare applies, matching the
+// aggressive unrolling of the paper's VLIW toolchain (it creates the
+// cross-iteration ILP that makes a clustered machine worth filling).
+const DefaultUnroll = 4
+
+// Prepare compiles src with the default unroll factor, runs points-to
+// analysis, and profiles one execution.
+func Prepare(name, src string) (*Compiled, error) {
+	return PrepareUnrolled(name, src, DefaultUnroll)
+}
+
+// PrepareUnrolled is Prepare with an explicit unroll factor (1 disables).
+func PrepareUnrolled(name, src string, unroll int) (*Compiled, error) {
+	return PrepareFull(name, src, unroll, true)
+}
+
+// PrepareFull exposes every front-end knob: the unroll factor and whether
+// the classical optimizer (fold/copy-prop/CSE/DCE) runs before analysis.
+func PrepareFull(name, src string, unroll int, optimize bool) (*Compiled, error) {
+	mod, err := mclang.CompileUnrolled(src, name, unroll)
+	if err != nil {
+		return nil, fmt.Errorf("eval: %s: %w", name, err)
+	}
+	if optimize {
+		opt.Optimize(mod)
+	}
+	pointsto.Analyze(mod)
+	in := interp.New(mod, interp.Options{MaxSteps: 10_000_000})
+	v, err := in.RunMain()
+	if err != nil {
+		return nil, fmt.Errorf("eval: %s: profile run: %w", name, err)
+	}
+	return &Compiled{Name: name, Mod: mod, Prof: in.Profile(), Ret: v.I}, nil
+}
+
+// Result is one scheme's outcome on one benchmark and machine.
+type Result struct {
+	Scheme  Scheme
+	Cycles  int64
+	Moves   int64
+	DataMap gdp.DataMap        // nil for Unified
+	Assign  map[*ir.Func][]int // final computation partition
+	Locks   map[*ir.Func]rhop.Locks
+
+	// DetailedRuns counts invocations of the detailed computation
+	// partitioner (§4.5: ProfileMax needs two, GDP and Naïve one each).
+	DetailedRuns int
+	// PartitionTime is the wall time spent in those invocations.
+	PartitionTime time.Duration
+}
+
+// Options bundles the per-scheme knobs.
+type Options struct {
+	GDP  gdp.Options
+	RHOP rhop.Options
+	// ProfileMaxTol is the memory balance threshold of the Profile Max
+	// greedy assignment (default 0.10, matching GDP's).
+	ProfileMaxTol float64
+}
+
+func (o Options) pmaxTol() float64 {
+	if o.ProfileMaxTol <= 0 {
+		return 0.10
+	}
+	return o.ProfileMaxTol
+}
+
+func runRHOP(c *Compiled, cfg *machine.Config, locks map[*ir.Func]rhop.Locks,
+	opts rhop.Options, res *Result) (map[*ir.Func][]int, error) {
+
+	start := time.Now()
+	asg, err := rhop.PartitionModule(c.Mod, c.Prof, cfg, locks, opts)
+	res.PartitionTime += time.Since(start)
+	res.DetailedRuns++
+	return asg, err
+}
+
+// RunUnified evaluates the unified-memory upper bound: plain RHOP with no
+// object homes; every cluster reaches the single multiported memory at the
+// uniform load latency.
+func RunUnified(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
+	res := &Result{Scheme: SchemeUnified}
+	asg, err := runRHOP(c, cfg, nil, opts.RHOP, res)
+	if err != nil {
+		return nil, err
+	}
+	res.Assign = asg
+	res.Cycles, res.Moves = sched.ProgramCycles(c.Mod, asg, cfg, c.Prof)
+	return res, nil
+}
+
+// RunGDP evaluates the paper's Global Data Partitioning: first pass
+// partitions data objects over the program-level graph, second pass runs
+// RHOP with memory operations locked to their object's home cluster.
+func RunGDP(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
+	res := &Result{Scheme: SchemeGDP}
+	gopts := opts.GDP
+	if gopts.MemFractions == nil {
+		gopts.MemFractions = cfg.MemFractions()
+	}
+	dp, err := gdp.PartitionData(c.Mod, c.Prof, cfg.NumClusters(), gopts)
+	if err != nil {
+		return nil, err
+	}
+	res.DataMap = dp.DataMap
+	res.Locks = gdp.ComputeLocks(c.Mod, dp.DataMap, c.Prof)
+	asg, err := runRHOP(c, cfg, res.Locks, opts.RHOP, res)
+	if err != nil {
+		return nil, err
+	}
+	res.Assign = asg
+	res.Cycles, res.Moves = sched.ProgramCycles(c.Mod, asg, cfg, c.Prof)
+	return res, nil
+}
+
+// RunWithDataMap evaluates an externally chosen object mapping (used by the
+// Figure 9 exhaustive search): lock memory ops to dm's homes and run the
+// second pass.
+func RunWithDataMap(c *Compiled, cfg *machine.Config, dm gdp.DataMap, opts Options) (*Result, error) {
+	res := &Result{Scheme: "Fixed", DataMap: dm}
+	res.Locks = gdp.ComputeLocks(c.Mod, dm, c.Prof)
+	asg, err := runRHOP(c, cfg, res.Locks, opts.RHOP, res)
+	if err != nil {
+		return nil, err
+	}
+	res.Assign = asg
+	res.Cycles, res.Moves = sched.ProgramCycles(c.Mod, asg, cfg, c.Prof)
+	return res, nil
+}
+
+// RunProfileMax evaluates the Profile Max baseline: run RHOP assuming a
+// unified memory, record where each merged object group's accesses landed,
+// greedily assign groups to their majority cluster in descending dynamic
+// frequency order under a memory balance threshold, then re-run RHOP with
+// the resulting locks (two detailed-partitioner runs, §4.5).
+func RunProfileMax(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
+	res := &Result{Scheme: SchemeProfileMax}
+	k := cfg.NumClusters()
+	firstAsg, err := runRHOP(c, cfg, nil, opts.RHOP, res)
+	if err != nil {
+		return nil, err
+	}
+	groups := gdp.MergeObjects(c.Mod)
+	groupOf := map[int]int{}
+	for gi, g := range groups {
+		for _, objID := range g {
+			groupOf[objID] = gi
+		}
+	}
+	// Dynamic access frequency of each group per cluster under the
+	// unified partition.
+	freq := make([][]int64, len(groups))
+	for i := range freq {
+		freq[i] = make([]int64, k)
+	}
+	for _, f := range c.Mod.Funcs {
+		asg := firstAsg[f]
+		for _, b := range f.Blocks {
+			for _, op := range b.Ops {
+				counts, ok := c.Prof.OpObj[op]
+				if !ok {
+					continue
+				}
+				for objID, n := range counts {
+					freq[groupOf[objID]][asg[op.ID]] += n
+				}
+			}
+		}
+	}
+	// Greedy assignment in descending total frequency.
+	type gf struct {
+		gi    int
+		total int64
+	}
+	order := make([]gf, len(groups))
+	for gi := range groups {
+		var t int64
+		for _, n := range freq[gi] {
+			t += n
+		}
+		order[gi] = gf{gi, t}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].total != order[j].total {
+			return order[i].total > order[j].total
+		}
+		return order[i].gi < order[j].gi
+	})
+	var totalBytes int64
+	groupBytes := make([]int64, len(groups))
+	for gi, g := range groups {
+		for _, objID := range g {
+			b := objectBytes(c, objID)
+			groupBytes[gi] += b
+			totalBytes += b
+		}
+	}
+	fractions := cfg.MemFractions()
+	limits := make([]int64, k)
+	for cl := 0; cl < k; cl++ {
+		frac := 1 / float64(k)
+		if fractions != nil {
+			frac = fractions[cl]
+		}
+		limits[cl] = int64(float64(totalBytes) * frac * (1 + opts.pmaxTol()))
+	}
+	loaded := make([]int64, k)
+	dm := make(gdp.DataMap, len(c.Mod.Objects))
+	for _, o := range order {
+		// Preferred cluster: the one with the most dynamic accesses
+		// (ties to lower load, then lower index).
+		prefs := make([]int, k)
+		for i := range prefs {
+			prefs[i] = i
+		}
+		sort.Slice(prefs, func(i, j int) bool {
+			a, b := prefs[i], prefs[j]
+			if freq[o.gi][a] != freq[o.gi][b] {
+				return freq[o.gi][a] > freq[o.gi][b]
+			}
+			if loaded[a] != loaded[b] {
+				return loaded[a] < loaded[b]
+			}
+			return a < b
+		})
+		// The paper's threshold rule: when the preferred memory is full,
+		// the object is *forced* onto another cluster (the least loaded),
+		// even if that one is over threshold too.
+		chosen := prefs[0]
+		if loaded[chosen]+groupBytes[o.gi] > limits[chosen] {
+			forced := -1
+			for _, p := range prefs[1:] {
+				if forced == -1 || loaded[p] < loaded[forced] {
+					forced = p
+				}
+			}
+			if forced >= 0 {
+				chosen = forced
+			}
+		}
+		loaded[chosen] += groupBytes[o.gi]
+		for _, objID := range groups[o.gi] {
+			dm[objID] = chosen
+		}
+	}
+	res.DataMap = dm
+	res.Locks = gdp.ComputeLocks(c.Mod, dm, c.Prof)
+	asg, err := runRHOP(c, cfg, res.Locks, opts.RHOP, res)
+	if err != nil {
+		return nil, err
+	}
+	res.Assign = asg
+	res.Cycles, res.Moves = sched.ProgramCycles(c.Mod, asg, cfg, c.Prof)
+	return res, nil
+}
+
+// RunNaive evaluates the Naïve postpass of §2/Figure 2: partition assuming
+// unified memory, then pin each data object to the cluster where it was
+// accessed most often, re-home every memory operation accordingly (the
+// scheduler inserts the data transfer moves), and reschedule without
+// repartitioning. Memory balance is deliberately ignored.
+func RunNaive(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
+	res := &Result{Scheme: SchemeNaive}
+	k := cfg.NumClusters()
+	asg, err := runRHOP(c, cfg, nil, opts.RHOP, res)
+	if err != nil {
+		return nil, err
+	}
+	// Per-object access frequency per cluster under the unified partition.
+	freq := make(map[int][]int64, len(c.Mod.Objects))
+	for _, o := range c.Mod.Objects {
+		freq[o.ID] = make([]int64, k)
+	}
+	for _, f := range c.Mod.Funcs {
+		fa := asg[f]
+		for _, b := range f.Blocks {
+			for _, op := range b.Ops {
+				for objID, n := range c.Prof.OpObj[op] {
+					freq[objID][fa[op.ID]] += n
+				}
+			}
+		}
+	}
+	dm := make(gdp.DataMap, len(c.Mod.Objects))
+	for _, o := range c.Mod.Objects {
+		best := 0
+		for cl := 1; cl < k; cl++ {
+			if freq[o.ID][cl] > freq[o.ID][best] {
+				best = cl
+			}
+		}
+		dm[o.ID] = best
+	}
+	res.DataMap = dm
+	// Re-home memory operations onto their object's cluster; everything
+	// else stays put and the scheduler pays the transfers.
+	locks := gdp.ComputeLocks(c.Mod, dm, c.Prof)
+	res.Locks = locks
+	for _, f := range c.Mod.Funcs {
+		fa := asg[f]
+		for id, cl := range locks[f] {
+			fa[id] = cl
+		}
+	}
+	res.Assign = asg
+	res.Cycles, res.Moves = sched.ProgramCycles(c.Mod, asg, cfg, c.Prof)
+	return res, nil
+}
+
+func objectBytes(c *Compiled, objID int) int64 {
+	if b, ok := c.Prof.ObjBytes[objID]; ok && b > 0 {
+		return b
+	}
+	return c.Mod.Objects[objID].Size
+}
+
+// RelativePerf is a figure-7/8 bar: scheme performance relative to the
+// unified memory model (1.0 = matches unified; higher is better).
+func RelativePerf(unified, scheme *Result) float64 {
+	if scheme.Cycles == 0 {
+		return 0
+	}
+	return float64(unified.Cycles) / float64(scheme.Cycles)
+}
+
+// CycleIncreasePct is the figure-2 metric: percent extra cycles over the
+// unified model.
+func CycleIncreasePct(unified, scheme *Result) float64 {
+	return 100 * (float64(scheme.Cycles) - float64(unified.Cycles)) / float64(unified.Cycles)
+}
+
+// MoveIncreasePct is the figure-10 metric: percent extra dynamic
+// intercluster moves over the unified model.
+func MoveIncreasePct(unified, scheme *Result) float64 {
+	if unified.Moves == 0 {
+		if scheme.Moves == 0 {
+			return 0
+		}
+		return 100
+	}
+	return 100 * (float64(scheme.Moves) - float64(unified.Moves)) / float64(unified.Moves)
+}

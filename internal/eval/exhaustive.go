@@ -1,0 +1,131 @@
+package eval
+
+import (
+	"fmt"
+
+	"mcpart/internal/gdp"
+	"mcpart/internal/machine"
+)
+
+// MappingPoint is one point of the Figure 9 scatter: a complete data-object
+// mapping, its achieved cycles, and its data-size balance.
+type MappingPoint struct {
+	// Mask bit i gives the cluster of object i (2-cluster machines only).
+	Mask uint64
+	// Cycles is the dynamic cycle count under this mapping.
+	Cycles int64
+	// Imbalance is |bytes0-bytes1| / total in [0,1]; 0 = perfectly
+	// balanced (the paper shades imbalanced points darker).
+	Imbalance float64
+	// PerfVsWorst is cycles(worst mapping) / cycles(this), >= 1.
+	PerfVsWorst float64
+}
+
+// ExhaustiveResult is the full Figure 9 dataset for one benchmark.
+type ExhaustiveResult struct {
+	Points []MappingPoint
+	// GDPMask / PMaxMask are the masks the two schemes chose, for marking
+	// on the plot.
+	GDPMask  uint64
+	PMaxMask uint64
+	// Worst and Best cycles over all mappings.
+	Worst, Best int64
+}
+
+// Exhaustive enumerates every data-object mapping onto a 2-cluster machine
+// (2^objects of them), evaluates each through the locked second pass, and
+// returns the scatter along with the mappings GDP and Profile Max picked.
+// The object count must be at most maxObjects (guard against blowup).
+func Exhaustive(c *Compiled, cfg *machine.Config, opts Options, maxObjects int) (*ExhaustiveResult, error) {
+	if cfg.NumClusters() != 2 {
+		return nil, fmt.Errorf("eval: exhaustive search needs a 2-cluster machine, got %d", cfg.NumClusters())
+	}
+	n := len(c.Mod.Objects)
+	if maxObjects <= 0 {
+		maxObjects = 14
+	}
+	if n > maxObjects {
+		return nil, fmt.Errorf("eval: %s has %d objects; exhaustive search capped at %d", c.Name, n, maxObjects)
+	}
+	var totalBytes int64
+	bytes := make([]int64, n)
+	for i := range bytes {
+		bytes[i] = objectBytes(c, i)
+		totalBytes += bytes[i]
+	}
+	res := &ExhaustiveResult{}
+	dm := make(gdp.DataMap, n)
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		var b1 int64
+		for i := 0; i < n; i++ {
+			dm[i] = int(mask >> uint(i) & 1)
+			if dm[i] == 1 {
+				b1 += bytes[i]
+			}
+		}
+		r, err := RunWithDataMap(c, cfg, dm, opts)
+		if err != nil {
+			return nil, err
+		}
+		imb := 0.0
+		if totalBytes > 0 {
+			imb = float64(abs64(totalBytes-2*b1)) / float64(totalBytes)
+		}
+		res.Points = append(res.Points, MappingPoint{
+			Mask:      mask,
+			Cycles:    r.Cycles,
+			Imbalance: imb,
+		})
+	}
+	res.Worst, res.Best = res.Points[0].Cycles, res.Points[0].Cycles
+	for _, p := range res.Points {
+		if p.Cycles > res.Worst {
+			res.Worst = p.Cycles
+		}
+		if p.Cycles < res.Best {
+			res.Best = p.Cycles
+		}
+	}
+	for i := range res.Points {
+		res.Points[i].PerfVsWorst = float64(res.Worst) / float64(res.Points[i].Cycles)
+	}
+	// Mark the schemes' choices.
+	gdpRes, err := RunGDP(c, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.GDPMask = maskOf(gdpRes.DataMap)
+	pmaxRes, err := RunProfileMax(c, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.PMaxMask = maskOf(pmaxRes.DataMap)
+	return res, nil
+}
+
+func maskOf(dm gdp.DataMap) uint64 {
+	var mask uint64
+	for i, cl := range dm {
+		if cl == 1 {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Find returns the point with the given mask, or nil.
+func (r *ExhaustiveResult) Find(mask uint64) *MappingPoint {
+	for i := range r.Points {
+		if r.Points[i].Mask == mask {
+			return &r.Points[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"testing"
+
+	"mcpart/internal/machine"
+)
+
+func TestExhaustiveRawcaudio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive search is slow")
+	}
+	c := prepBench(t, "rawcaudio")
+	cfg := machine.Paper2Cluster(5)
+	ex, err := Exhaustive(c, cfg, Options{}, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(c.Mod.Objects)
+	if len(ex.Points) != 1<<uint(n) {
+		t.Fatalf("got %d points, want 2^%d", len(ex.Points), n)
+	}
+	if ex.Best > ex.Worst {
+		t.Fatalf("best %d > worst %d", ex.Best, ex.Worst)
+	}
+	if ex.Best == ex.Worst {
+		t.Error("no spread at all across mappings; data placement should matter")
+	}
+	// The scheme-chosen mappings must be actual points.
+	gp := ex.Find(ex.GDPMask)
+	pp := ex.Find(ex.PMaxMask)
+	if gp == nil || pp == nil {
+		t.Fatal("scheme masks not found among points")
+	}
+	// Figure 9's observation: GDP picks a point well above the worst and
+	// reasonably balanced.
+	if gp.PerfVsWorst < 1.0 {
+		t.Errorf("GDP point performance %v below worst", gp.PerfVsWorst)
+	}
+	// Complementary masks are near-identical on a homogeneous machine;
+	// only deterministic tie-breaks (which prefer lower cluster indices)
+	// may differ, so allow a 1% skew.
+	full := uint64(1)<<uint(n) - 1
+	for _, p := range ex.Points[:8] {
+		q := ex.Find(full &^ p.Mask)
+		if q == nil {
+			t.Fatal("complement missing")
+		}
+		diff := q.Cycles - p.Cycles
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff*100 > p.Cycles {
+			t.Errorf("mask %b: %d cycles but complement has %d", p.Mask, p.Cycles, q.Cycles)
+		}
+	}
+	// PerfVsWorst normalization.
+	for _, p := range ex.Points {
+		if p.PerfVsWorst < 1.0-1e-9 {
+			t.Errorf("point %b has perf %v < 1", p.Mask, p.PerfVsWorst)
+		}
+		if p.Imbalance < 0 || p.Imbalance > 1 {
+			t.Errorf("point %b imbalance %v out of range", p.Mask, p.Imbalance)
+		}
+	}
+}
+
+func TestExhaustiveRejectsBigPrograms(t *testing.T) {
+	c := prepBench(t, "mpeg2dec") // 7 objects, fine; cap at 3 to force error
+	if _, err := Exhaustive(c, machine.Paper2Cluster(5), Options{}, 3); err == nil {
+		t.Error("accepted program above the object cap")
+	}
+}
+
+func TestExhaustiveRejectsNon2Cluster(t *testing.T) {
+	c := prepBench(t, "halftone")
+	if _, err := Exhaustive(c, machine.FourCluster(5), Options{}, 14); err == nil {
+		t.Error("accepted 4-cluster machine")
+	}
+}

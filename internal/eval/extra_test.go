@@ -1,0 +1,69 @@
+package eval
+
+import (
+	"testing"
+
+	"mcpart/internal/machine"
+)
+
+func TestRoundRobinBaseline(t *testing.T) {
+	c := prepBench(t, "halftone")
+	cfg := machine.Paper2Cluster(5)
+	r, err := RunRoundRobin(c, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	// Round-robin alternates clusters by object ID.
+	for i, cl := range r.DataMap {
+		if cl != i%2 {
+			t.Fatalf("object %d on cluster %d, want %d", i, cl, i%2)
+		}
+	}
+}
+
+func TestAffinityBaseline(t *testing.T) {
+	c := prepBench(t, "rawcaudio")
+	cfg := machine.Paper2Cluster(5)
+	r, err := RunAffinity(c, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DataMap.Validate(c.Mod, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Affinity respects the byte-balance threshold like ProfileMax: the
+	// two big sample buffers must not share a cluster.
+	var pcm, code int = -1, -1
+	for _, o := range c.Mod.Objects {
+		switch o.Name {
+		case "malloc@main:0":
+			pcm = o.ID
+		case "malloc@main:1":
+			code = o.ID
+		}
+	}
+	if pcm >= 0 && code >= 0 && r.DataMap[pcm] == r.DataMap[code] {
+		t.Errorf("affinity colocated both 9.6KB buffers: %v", r.DataMap)
+	}
+}
+
+func TestExtraBaselinesNoWorseThanAbsurd(t *testing.T) {
+	// Sanity ordering on one benchmark: the informed schemes should not
+	// lose to blind round-robin by a large margin.
+	c := prepBench(t, "fir")
+	cfg := machine.Paper2Cluster(5)
+	g, err := RunGDP(c, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := RunRoundRobin(c, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(g.Cycles) > 1.2*float64(rr.Cycles) {
+		t.Errorf("GDP (%d) much worse than round-robin (%d)", g.Cycles, rr.Cycles)
+	}
+}

@@ -1,0 +1,186 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mcpart/internal/machine"
+)
+
+// BenchResult holds all four schemes' results for one benchmark on one
+// machine configuration.
+type BenchResult struct {
+	Name    string
+	Unified *Result
+	GDP     *Result
+	PMax    *Result
+	Naive   *Result
+}
+
+// RunAllSchemes evaluates the four Table 1 schemes on one prepared
+// benchmark.
+func RunAllSchemes(c *Compiled, cfg *machine.Config, opts Options) (*BenchResult, error) {
+	br := &BenchResult{Name: c.Name}
+	var err error
+	if br.Unified, err = RunUnified(c, cfg, opts); err != nil {
+		return nil, fmt.Errorf("%s unified: %w", c.Name, err)
+	}
+	if br.GDP, err = RunGDP(c, cfg, opts); err != nil {
+		return nil, fmt.Errorf("%s gdp: %w", c.Name, err)
+	}
+	if br.PMax, err = RunProfileMax(c, cfg, opts); err != nil {
+		return nil, fmt.Errorf("%s profilemax: %w", c.Name, err)
+	}
+	if br.Naive, err = RunNaive(c, cfg, opts); err != nil {
+		return nil, fmt.Errorf("%s naive: %w", c.Name, err)
+	}
+	return br, nil
+}
+
+// GeoMean returns the geometric mean of xs (which must be positive).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// FormatTable1 renders the scheme summary of Table 1.
+func FormatTable1() string {
+	var b strings.Builder
+	w := func(cols ...string) {
+		fmt.Fprintf(&b, "%-14s | %-34s | %-34s | %s\n", cols[0], cols[1], cols[2], cols[3])
+	}
+	w("Algorithm", "Object Partitioner", "Object Assignment", "Computation Partitioner")
+	b.WriteString(strings.Repeat("-", 110) + "\n")
+	w("GDP", "Global Data Partitioning", "graph partition of program DFG", "RHOP (object-cognizant)")
+	w("Profile Max", "RHOP (unified-memory pre-pass)", "greedy, dynamic frequency order", "RHOP (object-cognizant)")
+	w("Naive", "none (post-computation placement)", "max-access cluster, moves inserted", "RHOP (unified assumption)")
+	w("Unified Memory", "n/a (single multiported memory)", "n/a", "RHOP")
+	return b.String()
+}
+
+// FormatPerfFigure renders a Figure 7/8-style table: per benchmark the GDP
+// and Profile Max performance relative to unified memory, plus the suite
+// averages and the Naïve average, for the given move latency label.
+func FormatPerfFigure(title string, results []*BenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-12s %10s %12s %10s\n", "benchmark", "GDP", "ProfileMax", "Naive")
+	b.WriteString(strings.Repeat("-", 48) + "\n")
+	var gs, ps, ns []float64
+	for _, r := range results {
+		g := RelativePerf(r.Unified, r.GDP)
+		p := RelativePerf(r.Unified, r.PMax)
+		n := RelativePerf(r.Unified, r.Naive)
+		gs, ps, ns = append(gs, g), append(ps, p), append(ns, n)
+		fmt.Fprintf(&b, "%-12s %9.1f%% %11.1f%% %9.1f%%\n", r.Name, 100*g, 100*p, 100*n)
+	}
+	b.WriteString(strings.Repeat("-", 48) + "\n")
+	fmt.Fprintf(&b, "%-12s %9.1f%% %11.1f%% %9.1f%%\n", "average",
+		100*GeoMean(gs), 100*GeoMean(ps), 100*GeoMean(ns))
+	return b.String()
+}
+
+// FormatFigure2 renders the Figure 2 table: percent cycle increase of the
+// Naïve placement over unified memory at several move latencies. results
+// maps latency -> per-benchmark results (same benchmark order).
+func FormatFigure2(latencies []int, results map[int][]*BenchResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 2: cycle increase of naive data placement vs unified memory\n")
+	fmt.Fprintf(&b, "%-12s", "benchmark")
+	for _, lat := range latencies {
+		fmt.Fprintf(&b, " %9s", fmt.Sprintf("lat=%d", lat))
+	}
+	b.WriteString("\n" + strings.Repeat("-", 12+10*len(latencies)) + "\n")
+	if len(latencies) == 0 {
+		return b.String()
+	}
+	names := results[latencies[0]]
+	for i := range names {
+		fmt.Fprintf(&b, "%-12s", names[i].Name)
+		for _, lat := range latencies {
+			r := results[lat][i]
+			fmt.Fprintf(&b, " %8.1f%%", CycleIncreasePct(r.Unified, r.Naive))
+		}
+		b.WriteString("\n")
+	}
+	// Averages.
+	fmt.Fprintf(&b, "%-12s", "average")
+	for _, lat := range latencies {
+		var sum float64
+		for _, r := range results[lat] {
+			sum += CycleIncreasePct(r.Unified, r.Naive)
+		}
+		fmt.Fprintf(&b, " %8.1f%%", sum/float64(len(results[lat])))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// FormatFigure10 renders the dynamic intercluster move increase table.
+func FormatFigure10(results []*BenchResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 10: increase in dynamic intercluster moves vs unified (5-cycle latency)\n")
+	fmt.Fprintf(&b, "%-12s %10s %12s\n", "benchmark", "GDP", "ProfileMax")
+	b.WriteString(strings.Repeat("-", 38) + "\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-12s %9.1f%% %11.1f%%\n", r.Name,
+			MoveIncreasePct(r.Unified, r.GDP), MoveIncreasePct(r.Unified, r.PMax))
+	}
+	return b.String()
+}
+
+// FormatFigure9 renders the exhaustive search as a text scatter: one row
+// per mapping, sorted by performance, with balance shading and scheme
+// markers.
+func FormatFigure9(name string, ex *ExhaustiveResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9 (%s): exhaustive data mappings (%d points)\n", name, len(ex.Points))
+	fmt.Fprintf(&b, "best %d cycles, worst %d cycles (%.1f%% spread)\n",
+		ex.Best, ex.Worst, 100*float64(ex.Worst-ex.Best)/float64(ex.Worst))
+	pts := append([]MappingPoint(nil), ex.Points...)
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].PerfVsWorst != pts[j].PerfVsWorst {
+			return pts[i].PerfVsWorst > pts[j].PerfVsWorst
+		}
+		return pts[i].Mask < pts[j].Mask
+	})
+	fmt.Fprintf(&b, "%-10s %10s %10s  %s\n", "mask", "perf", "imbalance", "marks")
+	for _, p := range pts {
+		marks := ""
+		if p.Mask == ex.GDPMask {
+			marks += " <GDP>"
+		}
+		if p.Mask == ex.PMaxMask {
+			marks += " <PMax>"
+		}
+		shade := strings.Repeat("#", 1+int(p.Imbalance*9))
+		fmt.Fprintf(&b, "%010b %9.3fx %9.2f  %-10s%s\n", p.Mask, p.PerfVsWorst, p.Imbalance, shade, marks)
+	}
+	return b.String()
+}
+
+// FormatCompileTime renders the §4.5 comparison: detailed-partitioner runs
+// and wall time per scheme.
+func FormatCompileTime(results []*BenchResult) string {
+	var b strings.Builder
+	b.WriteString("Section 4.5: detailed computation-partitioner cost\n")
+	fmt.Fprintf(&b, "%-12s %14s %14s %14s %14s\n", "benchmark",
+		"GDP runs/ms", "PMax runs/ms", "Naive runs/ms", "Unified runs/ms")
+	b.WriteString(strings.Repeat("-", 74) + "\n")
+	cell := func(r *Result) string {
+		return fmt.Sprintf("%d/%.1f", r.DetailedRuns, float64(r.PartitionTime.Microseconds())/1000)
+	}
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-12s %14s %14s %14s %14s\n", r.Name,
+			cell(r.GDP), cell(r.PMax), cell(r.Naive), cell(r.Unified))
+	}
+	return b.String()
+}

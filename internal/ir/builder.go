@@ -1,0 +1,144 @@
+package ir
+
+import "fmt"
+
+// Builder incrementally constructs a Func. It tracks the current insertion
+// block, allocates virtual registers and op IDs, and wires CFG edges.
+type Builder struct {
+	F   *Func
+	cur *Block
+}
+
+// NewBuilder creates a function with the given name and parameter count
+// inside module m and returns a builder positioned at its entry block.
+func NewBuilder(m *Module, name string, nparams int) *Builder {
+	f := &Func{Name: name, NParams: nparams, NRegs: nparams}
+	m.AddFunc(f)
+	b := &Builder{F: f}
+	b.cur = b.NewBlock()
+	return b
+}
+
+// NewBlock appends a fresh, unlinked basic block to the function.
+func (bd *Builder) NewBlock() *Block {
+	b := &Block{ID: len(bd.F.Blocks), Func: bd.F}
+	bd.F.Blocks = append(bd.F.Blocks, b)
+	return b
+}
+
+// SetBlock moves the insertion point to block b.
+func (bd *Builder) SetBlock(b *Block) { bd.cur = b }
+
+// Block returns the current insertion block.
+func (bd *Builder) Block() *Block { return bd.cur }
+
+// NewReg allocates a fresh virtual register.
+func (bd *Builder) NewReg() VReg {
+	r := VReg(bd.F.NRegs)
+	bd.F.NRegs++
+	return r
+}
+
+func (bd *Builder) emit(op *Op) *Op {
+	if bd.cur == nil {
+		panic("ir: emit with no current block")
+	}
+	if t := bd.cur.Terminator(); t != nil && t.Opcode.IsTerminator() {
+		panic(fmt.Sprintf("ir: emit %s after terminator in b%d of %s",
+			op.Opcode, bd.cur.ID, bd.F.Name))
+	}
+	op.ID = bd.F.NOps
+	bd.F.NOps++
+	op.Block = bd.cur
+	bd.cur.Ops = append(bd.cur.Ops, op)
+	return op
+}
+
+// Emit appends an op with a fresh destination register and returns that
+// register. It panics for opcodes that define nothing.
+func (bd *Builder) Emit(opc Opcode, args ...Operand) VReg {
+	if !opc.HasDst() {
+		panic(fmt.Sprintf("ir: Emit of %s which has no destination", opc))
+	}
+	dst := bd.NewReg()
+	bd.emit(&Op{Opcode: opc, Dst: dst, Args: args})
+	return dst
+}
+
+// EmitTo appends an op writing its result into the caller-chosen register
+// dst (used for non-SSA locals, whose register is fixed across assignments).
+func (bd *Builder) EmitTo(dst VReg, opc Opcode, args ...Operand) VReg {
+	if !opc.HasDst() {
+		panic(fmt.Sprintf("ir: EmitTo of %s which has no destination", opc))
+	}
+	bd.emit(&Op{Opcode: opc, Dst: dst, Args: args})
+	return dst
+}
+
+// CallTo emits a call whose result is written to dst (NoReg to discard).
+func (bd *Builder) CallTo(dst VReg, callee string, args ...Operand) {
+	bd.emit(&Op{Opcode: OpCall, Dst: dst, Args: args, Callee: callee})
+}
+
+// EmitVoid appends an op that defines no register (store, branches).
+func (bd *Builder) EmitVoid(opc Opcode, args ...Operand) *Op {
+	return bd.emit(&Op{Opcode: opc, Dst: NoReg, Args: args})
+}
+
+// Addr emits an address-of operation for global obj.
+func (bd *Builder) Addr(obj *Object) VReg {
+	dst := bd.NewReg()
+	bd.emit(&Op{Opcode: OpAddr, Dst: dst, Obj: obj})
+	return dst
+}
+
+// Malloc emits a heap allocation of size bytes attributed to site.
+func (bd *Builder) Malloc(site *Object, size Operand) VReg {
+	dst := bd.NewReg()
+	bd.emit(&Op{Opcode: OpMalloc, Dst: dst, Args: []Operand{size}, MallocSite: site})
+	return dst
+}
+
+// Load emits a word load from addr.
+func (bd *Builder) Load(addr Operand) VReg { return bd.Emit(OpLoad, addr) }
+
+// Store emits a word store of val to addr.
+func (bd *Builder) Store(addr, val Operand) { bd.EmitVoid(OpStore, addr, val) }
+
+// Call emits a call; dst is NoReg when the result is unused.
+func (bd *Builder) Call(callee string, wantResult bool, args ...Operand) VReg {
+	dst := NoReg
+	if wantResult {
+		dst = bd.NewReg()
+	}
+	bd.emit(&Op{Opcode: OpCall, Dst: dst, Args: args, Callee: callee})
+	return dst
+}
+
+// Br terminates the current block with an unconditional branch to target.
+func (bd *Builder) Br(target *Block) {
+	bd.EmitVoid(OpBr)
+	link(bd.cur, target)
+}
+
+// BrCond terminates the current block with a conditional branch: to ifTrue
+// when cond is nonzero, else to ifFalse.
+func (bd *Builder) BrCond(cond Operand, ifTrue, ifFalse *Block) {
+	bd.EmitVoid(OpBrCond, cond)
+	link(bd.cur, ifTrue)
+	link(bd.cur, ifFalse)
+}
+
+// Ret terminates the current block with a return of the given values
+// (zero or one operand).
+func (bd *Builder) Ret(vals ...Operand) {
+	if len(vals) > 1 {
+		panic("ir: Ret accepts at most one value")
+	}
+	bd.EmitVoid(OpRet, vals...)
+}
+
+func link(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}

@@ -1,0 +1,114 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildRich(t *testing.T) *Module {
+	t.Helper()
+	m := NewModule("rich")
+	tbl := m.AddObject(&Object{Name: "tbl", Kind: ObjGlobal, Size: 24, Init: []int64{1, -2, 3}})
+	coef := m.AddObject(&Object{
+		Name: "coef", Kind: ObjGlobal, Size: 16, IsFloat: true,
+		Init: []int64{0, 0}, FloatInit: []float64{1.5, 2},
+	})
+	site := m.AddObject(&Object{Name: "malloc@main:0", Kind: ObjHeap})
+
+	g := NewBuilder(m, "helper", 2)
+	sum := g.Emit(OpAdd, Reg(0), Reg(1))
+	g.Ret(Reg(sum))
+
+	bd := NewBuilder(m, "main", 0)
+	loop := bd.NewBlock()
+	body := bd.NewBlock()
+	exit := bd.NewBlock()
+	a := bd.Addr(tbl)
+	buf := bd.Malloc(site, ConstInt(64))
+	i := bd.NewReg()
+	bd.EmitTo(i, OpMov, ConstInt(0))
+	bd.Br(loop)
+	bd.SetBlock(loop)
+	c := bd.Emit(OpCmpLT, Reg(i), ConstInt(3))
+	bd.BrCond(Reg(c), body, exit)
+	bd.SetBlock(body)
+	off := bd.Emit(OpShl, Reg(i), ConstInt(3))
+	addr := bd.Emit(OpAdd, Reg(a), Reg(off))
+	v := bd.Load(Reg(addr))
+	fv := bd.Emit(OpIToF, Reg(v))
+	fr := bd.Emit(OpFMul, Reg(fv), ConstFloat(2.5))
+	iv := bd.Emit(OpFToI, Reg(fr))
+	sum2 := bd.Call("helper", true, Reg(iv), ConstInt(7))
+	bd.Store(Reg(buf), Reg(sum2))
+	bd.EmitTo(i, OpAdd, Reg(i), ConstInt(1))
+	bd.Br(loop)
+	bd.SetBlock(exit)
+	ca := bd.Addr(coef)
+	cv := bd.Load(Reg(ca))
+	bd.EmitVoid(OpStore, Reg(buf), Reg(cv))
+	bd.Ret(Reg(i))
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	m := buildRich(t)
+	text := Print(m)
+	m2, err := ParseModule(text)
+	if err != nil {
+		t.Fatalf("ParseModule: %v\n%s", err, text)
+	}
+	text2 := Print(m2)
+	if text != text2 {
+		t.Fatalf("round trip differs:\n--- original ---\n%s\n--- reparsed ---\n%s", text, text2)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"object #0 global x 8",               // no module header
+		"module m\nobject #1 global x 8",     // non-dense object id
+		"module m\nobject #0 weird x 8",      // bad kind
+		"module m\nfunc f(0 params, 0 regs)", // no blocks
+		"module m\nfunc f(0 params, 0 regs)\nb0:\n  frobnicate", // bad opcode
+		"module m\nfunc f(0 params, 0 regs)\nb0:\n  br b7",      // bad target
+	}
+	for _, src := range bad {
+		if _, err := ParseModule(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestParseValidatesSemantics(t *testing.T) {
+	// A structurally parseable module that fails Verify (missing ret).
+	src := "module m\nfunc f(0 params, 1 regs)\nb0:\n  v0 = add 1, 2"
+	if _, err := ParseModule(src); err == nil {
+		t.Error("accepted function without terminator")
+	}
+}
+
+func TestParseFloatMarkers(t *testing.T) {
+	src := strings.Join([]string{
+		"module m",
+		"object #0 global f 8 float = {2}",
+		"func main(0 params, 1 regs)",
+		"b0:",
+		"  v0 = fadd 1.0, 2.0",
+		"  ret v0",
+	}, "\n")
+	m, err := ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Objects[0].IsFloat || m.Objects[0].FloatInit[0] != 2 {
+		t.Errorf("float object parsed wrong: %+v", m.Objects[0])
+	}
+	op := m.Func("main").Blocks[0].Ops[0]
+	if op.Args[0].Kind != OperFloat || op.Args[1].Kind != OperFloat {
+		t.Errorf("float operands parsed as %v", op.Args)
+	}
+}

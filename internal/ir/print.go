@@ -1,0 +1,69 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Print renders the whole module in a stable textual form suitable for
+// golden tests and debugging.
+func Print(m *Module) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\n", m.Name)
+	for _, o := range m.Objects {
+		fmt.Fprintf(&sb, "object #%d %s %s %d", o.ID, o.Kind, o.Name, o.Size)
+		if o.IsFloat {
+			sb.WriteString(" float")
+		}
+		if len(o.Init) > 0 || len(o.FloatInit) > 0 {
+			sb.WriteString(" = {")
+			if o.IsFloat {
+				for i, v := range o.FloatInit {
+					if i > 0 {
+						sb.WriteString(", ")
+					}
+					fmt.Fprintf(&sb, "%g", v)
+				}
+			} else {
+				for i, v := range o.Init {
+					if i > 0 {
+						sb.WriteString(", ")
+					}
+					fmt.Fprintf(&sb, "%d", v)
+				}
+			}
+			sb.WriteString("}")
+		}
+		sb.WriteString("\n")
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString(PrintFunc(f))
+	}
+	return sb.String()
+}
+
+// PrintFunc renders one function.
+func PrintFunc(f *Func) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(%d params, %d regs)\n", f.Name, f.NParams, f.NRegs)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:", b.ID)
+		if len(b.Preds) > 0 {
+			ids := make([]int, len(b.Preds))
+			for i, p := range b.Preds {
+				ids[i] = p.ID
+			}
+			sort.Ints(ids)
+			sb.WriteString("  ; preds")
+			for _, id := range ids {
+				fmt.Fprintf(&sb, " b%d", id)
+			}
+		}
+		sb.WriteString("\n")
+		for _, op := range b.Ops {
+			fmt.Fprintf(&sb, "  %s\n", op)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,294 @@
+// Package machine describes the multicluster VLIW targets the partitioners
+// compile for: per-cluster function units and register files, operation
+// latencies, and the intercluster communication network (fixed bandwidth,
+// configurable move latency), matching the machine model of the paper's
+// §4.1 (2-cluster VLIW, 2 integer / 1 float / 1 memory / 1 branch unit per
+// cluster, Itanium-like latencies, 1 intercluster move per cycle with a
+// latency of 1, 5, or 10 cycles).
+package machine
+
+import (
+	"fmt"
+
+	"mcpart/internal/ir"
+)
+
+// FUKind is a function-unit class.
+type FUKind int
+
+// Function-unit classes.
+const (
+	FUInt FUKind = iota
+	FUFloat
+	FUMem
+	FUBranch
+	NumFUKinds
+)
+
+func (k FUKind) String() string {
+	switch k {
+	case FUInt:
+		return "I"
+	case FUFloat:
+		return "F"
+	case FUMem:
+		return "M"
+	case FUBranch:
+		return "B"
+	}
+	return "?"
+}
+
+// KindOf maps an opcode to the function-unit class that executes it.
+// Intercluster moves (ir.OpMove) issue on the integer unit of the sending
+// cluster and additionally occupy the intercluster bus.
+func KindOf(op ir.Opcode) FUKind {
+	switch {
+	case op.IsFloat():
+		return FUFloat
+	case op.IsMem():
+		return FUMem
+	case op.IsBranch():
+		return FUBranch
+	default:
+		return FUInt
+	}
+}
+
+// Latency returns the cycles from issue of an op until its result is
+// available. The values mirror Itanium-class latencies, as in the paper.
+func Latency(op ir.Opcode) int {
+	switch op {
+	case ir.OpMul:
+		return 3
+	case ir.OpDiv, ir.OpRem:
+		return 8
+	case ir.OpLoad, ir.OpMalloc:
+		return 2
+	case ir.OpStore:
+		return 1
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul,
+		ir.OpFCmpEQ, ir.OpFCmpNE, ir.OpFCmpLT, ir.OpFCmpLE, ir.OpFCmpGT, ir.OpFCmpGE,
+		ir.OpIToF, ir.OpFToI, ir.OpFNeg:
+		return 4
+	case ir.OpFDiv:
+		return 12
+	default:
+		return 1
+	}
+}
+
+// Cluster describes one cluster's function units and local data memory.
+type Cluster struct {
+	Units [NumFUKinds]int
+	// MemBytes is the cluster's scratchpad capacity in bytes; 0 means
+	// "unspecified" (the data partitioner then targets equal shares).
+	MemBytes int64
+}
+
+// Topology selects the intercluster network shape.
+type Topology int
+
+// Network topologies. The paper assumes a shared bus with uniform latency
+// ("this assumption is not necessary", §2); TopologyRing models the
+// nearest-neighbor interconnects of tiled machines like RAW, where a move
+// between clusters costs MoveLatency per hop of ring distance.
+const (
+	TopologyBus Topology = iota
+	TopologyRing
+)
+
+func (t Topology) String() string {
+	if t == TopologyRing {
+		return "ring"
+	}
+	return "bus"
+}
+
+// Config is a complete machine description.
+type Config struct {
+	Name     string
+	Clusters []Cluster
+	// MoveLatency is the cycle count of one intercluster move (per hop
+	// for TopologyRing).
+	MoveLatency int
+	// MoveBandwidth is the number of intercluster moves that may be in
+	// flight per cycle across the shared network (a global cap even for
+	// the ring, a documented simplification).
+	MoveBandwidth int
+	// Topology is the network shape; the zero value is the paper's bus.
+	Topology Topology
+}
+
+// MoveLat returns the move latency from cluster a to cluster b: the
+// uniform bus latency, or hops x latency on a ring.
+func (c *Config) MoveLat(a, b int) int {
+	if a == b {
+		return 0
+	}
+	if c.Topology == TopologyRing {
+		n := len(c.Clusters)
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		if n-d < d {
+			d = n - d
+		}
+		return c.MoveLatency * d
+	}
+	return c.MoveLatency
+}
+
+// NumClusters returns the cluster count.
+func (c *Config) NumClusters() int { return len(c.Clusters) }
+
+// Units returns the number of units of the given kind on cluster ci.
+func (c *Config) Units(ci int, k FUKind) int { return c.Clusters[ci].Units[k] }
+
+// TotalUnits returns the machine-wide unit count of kind k.
+func (c *Config) TotalUnits(k FUKind) int {
+	n := 0
+	for _, cl := range c.Clusters {
+		n += cl.Units[k]
+	}
+	return n
+}
+
+// Validate checks the configuration is usable.
+func (c *Config) Validate() error {
+	if len(c.Clusters) < 1 {
+		return fmt.Errorf("machine %q: needs at least one cluster", c.Name)
+	}
+	if c.MoveLatency < 1 {
+		return fmt.Errorf("machine %q: move latency %d < 1", c.Name, c.MoveLatency)
+	}
+	if c.MoveBandwidth < 1 {
+		return fmt.Errorf("machine %q: move bandwidth %d < 1", c.Name, c.MoveBandwidth)
+	}
+	for i, cl := range c.Clusters {
+		for k := FUKind(0); k < NumFUKinds; k++ {
+			if cl.Units[k] < 0 {
+				return fmt.Errorf("machine %q: cluster %d has %d units of %s",
+					c.Name, i, cl.Units[k], k)
+			}
+		}
+		if cl.Units[FUMem] == 0 {
+			return fmt.Errorf("machine %q: cluster %d has no memory unit", c.Name, i)
+		}
+	}
+	return nil
+}
+
+// paperCluster is the per-cluster resource mix from the paper's §4.1.
+func paperCluster() Cluster {
+	var cl Cluster
+	cl.Units[FUInt] = 2
+	cl.Units[FUFloat] = 1
+	cl.Units[FUMem] = 1
+	cl.Units[FUBranch] = 1
+	return cl
+}
+
+// Paper2Cluster returns the paper's evaluation machine: two homogeneous
+// clusters, each with 2 integer, 1 float, 1 memory and 1 branch unit, and
+// an intercluster bus of 1 move/cycle with the given latency.
+func Paper2Cluster(moveLatency int) *Config {
+	return &Config{
+		Name:          fmt.Sprintf("paper-2c-lat%d", moveLatency),
+		Clusters:      []Cluster{paperCluster(), paperCluster()},
+		MoveLatency:   moveLatency,
+		MoveBandwidth: 1,
+	}
+}
+
+// FourCluster returns a four-cluster scaling of the paper machine.
+func FourCluster(moveLatency int) *Config {
+	return &Config{
+		Name:          fmt.Sprintf("4c-lat%d", moveLatency),
+		Clusters:      []Cluster{paperCluster(), paperCluster(), paperCluster(), paperCluster()},
+		MoveLatency:   moveLatency,
+		MoveBandwidth: 1,
+	}
+}
+
+// Heterogeneous2 returns a two-cluster machine where cluster 0 has twice
+// the integer bandwidth of cluster 1 (the imbalance example from §2).
+func Heterogeneous2(moveLatency int) *Config {
+	big := paperCluster()
+	big.Units[FUInt] = 4
+	small := paperCluster()
+	small.Units[FUInt] = 2
+	return &Config{
+		Name:          fmt.Sprintf("hetero-2c-lat%d", moveLatency),
+		Clusters:      []Cluster{big, small},
+		MoveLatency:   moveLatency,
+		MoveBandwidth: 1,
+	}
+}
+
+// RingFour returns a four-cluster machine whose clusters sit on a
+// nearest-neighbor ring: adjacent clusters exchange values in moveLatency
+// cycles, opposite clusters in twice that.
+func RingFour(moveLatency int) *Config {
+	cfg := FourCluster(moveLatency)
+	cfg.Name = fmt.Sprintf("ring-4c-lat%d", moveLatency)
+	cfg.Topology = TopologyRing
+	return cfg
+}
+
+// MemFractions returns each cluster's share of the machine's total data
+// memory, or nil when no capacities are specified. The data partitioner
+// balances object bytes to these targets (the paper's §3.3.2 notes the
+// balance "is parameterized in the case where the memory within one
+// cluster is significantly larger than the other").
+func (c *Config) MemFractions() []float64 {
+	var total int64
+	for _, cl := range c.Clusters {
+		if cl.MemBytes <= 0 {
+			return nil
+		}
+		total += cl.MemBytes
+	}
+	out := make([]float64, len(c.Clusters))
+	for i, cl := range c.Clusters {
+		out[i] = float64(cl.MemBytes) / float64(total)
+	}
+	return out
+}
+
+// WithMemCapacities returns a copy of cfg with per-cluster scratchpad
+// capacities set (one value per cluster).
+func WithMemCapacities(cfg *Config, bytes ...int64) (*Config, error) {
+	if len(bytes) != len(cfg.Clusters) {
+		return nil, fmt.Errorf("machine %q: %d capacities for %d clusters",
+			cfg.Name, len(bytes), len(cfg.Clusters))
+	}
+	out := *cfg
+	out.Clusters = append([]Cluster(nil), cfg.Clusters...)
+	for i, b := range bytes {
+		if b <= 0 {
+			return nil, fmt.Errorf("machine %q: capacity %d for cluster %d", cfg.Name, b, i)
+		}
+		out.Clusters[i].MemBytes = b
+	}
+	return &out, nil
+}
+
+// Unified1Cluster returns a single-cluster machine with the combined
+// resources of n paper clusters. Note this is NOT the paper's "unified
+// memory" baseline (that is the clustered machine with a shared memory,
+// modeled by the eval package); it is a fully-centralized ablation point
+// with no intercluster communication at all.
+func Unified1Cluster(n int) *Config {
+	cl := paperCluster()
+	for k := FUKind(0); k < NumFUKinds; k++ {
+		cl.Units[k] *= n
+	}
+	return &Config{
+		Name:          fmt.Sprintf("unified-%dw", n),
+		Clusters:      []Cluster{cl},
+		MoveLatency:   1,
+		MoveBandwidth: 1,
+	}
+}

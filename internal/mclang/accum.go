@@ -1,0 +1,194 @@
+package mclang
+
+import "fmt"
+
+// Accumulator expansion, the classic companion of loop unrolling: a
+// reduction
+//
+//	for (...) { s = s + e; }
+//
+// serializes its unrolled copies through s. When s is an integer local that
+// appears in the loop body only in that one statement, the unroller gives
+// each copy k>0 a private partial sum (initialized to zero before the loop)
+// and folds the partials back into s after the loop. Integer addition and
+// subtraction are associative modulo 2^64, so the transform is exact;
+// floats are never expanded.
+
+// accumulator describes one expandable reduction in a loop body.
+type accumulator struct {
+	name  string
+	minus bool // s = s - e (partials still sum the e's; fold subtracts)
+}
+
+// findAccumulators returns the expandable reductions of body: integer
+// locals assigned exactly once in body, by `s = s ± e`, whose only other
+// mention in body is the `s` on the right-hand side, with e free of s.
+func (u *unroller) findAccumulators(body Stmt) []accumulator {
+	counts := map[string]int{}
+	countIdents(body, counts)
+	var accs []accumulator
+	seen := map[string]bool{}
+	walkStmts(body, func(s Stmt) {
+		asg, ok := s.(*AssignStmt)
+		if !ok {
+			return
+		}
+		lhs, ok := asg.LHS.(*IdentExpr)
+		if !ok || seen[lhs.Name] || u.globals[lhs.Name] {
+			return
+		}
+		bin, ok := asg.RHS.(*BinaryExpr)
+		if !ok || (bin.Op != TokPlus && bin.Op != TokMinus) {
+			return
+		}
+		l, ok := bin.L.(*IdentExpr)
+		if !ok || l.Name != lhs.Name {
+			return
+		}
+		if mentions(bin.R, lhs.Name) {
+			return
+		}
+		// Exactly the two mentions in this statement, nowhere else.
+		if counts[lhs.Name] != 2 {
+			return
+		}
+		// Must be a declared integer local (or int parameter).
+		if t, ok := u.declType[lhs.Name]; !ok || t.Kind != TypeInt {
+			return
+		}
+		seen[lhs.Name] = true
+		accs = append(accs, accumulator{name: lhs.Name, minus: bin.Op == TokMinus})
+	})
+	return accs
+}
+
+// renameAccumulator rewrites the (unique) accumulation statement of acc in
+// the cloned body to target the partial sum named partial, reporting
+// whether a rewrite happened.
+func renameAccumulator(body Stmt, acc accumulator, partial string) bool {
+	done := false
+	walkStmts(body, func(s Stmt) {
+		if done {
+			return
+		}
+		asg, ok := s.(*AssignStmt)
+		if !ok {
+			return
+		}
+		lhs, ok := asg.LHS.(*IdentExpr)
+		if !ok || lhs.Name != acc.name {
+			return
+		}
+		bin, ok := asg.RHS.(*BinaryExpr)
+		if !ok {
+			return
+		}
+		l, ok := bin.L.(*IdentExpr)
+		if !ok || l.Name != acc.name {
+			return
+		}
+		lhs.Name = partial
+		l.Name = partial
+		if acc.minus {
+			bin.Op = TokPlus // partials collect the subtrahends
+		}
+		done = true
+	})
+	return done
+}
+
+// countIdents tallies identifier mentions (in expressions) by name.
+func countIdents(s Stmt, counts map[string]int) {
+	walkStmts(s, func(st Stmt) {
+		for _, e := range stmtExprs(st) {
+			walkExpr(e, func(x Expr) {
+				if id, ok := x.(*IdentExpr); ok {
+					counts[id.Name]++
+				}
+			})
+		}
+	})
+}
+
+// walkStmts visits every statement in the tree rooted at s, including s.
+func walkStmts(s Stmt, fn func(Stmt)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	switch x := s.(type) {
+	case *BlockStmt:
+		for _, st := range x.Stmts {
+			walkStmts(st, fn)
+		}
+	case *IfStmt:
+		walkStmts(x.Then, fn)
+		walkStmts(x.Else, fn)
+	case *WhileStmt:
+		walkStmts(x.Body, fn)
+	case *ForStmt:
+		walkStmts(x.Init, fn)
+		walkStmts(x.Post, fn)
+		walkStmts(x.Body, fn)
+	}
+}
+
+// stmtExprs returns the expressions directly held by one statement node.
+func stmtExprs(s Stmt) []Expr {
+	switch x := s.(type) {
+	case *VarDeclStmt:
+		if x.Init != nil {
+			return []Expr{x.Init}
+		}
+	case *AssignStmt:
+		return []Expr{x.LHS, x.RHS}
+	case *ExprStmt:
+		return []Expr{x.X}
+	case *IfStmt:
+		return []Expr{x.Cond}
+	case *WhileStmt:
+		return []Expr{x.Cond}
+	case *ForStmt:
+		if x.Cond != nil {
+			return []Expr{x.Cond}
+		}
+	case *ReturnStmt:
+		if x.X != nil {
+			return []Expr{x.X}
+		}
+	}
+	return nil
+}
+
+// expandAccumulators applies accumulator expansion to the already-built
+// unrolled structure: partial declarations before the main loop, per-copy
+// renames inside mainBody (copies are mainBody.Stmts entries produced by
+// tryUnroll), and folds after the main loop. copies[k] is the k-th cloned
+// body inside mainBody.
+func (u *unroller) expandAccumulators(pos Pos, accs []accumulator, copies []Stmt) (decls, folds []Stmt) {
+	for _, acc := range accs {
+		for k := 1; k < len(copies); k++ {
+			partial := fmt.Sprintf("__acc%d_%s_%d", u.nextAcc, acc.name, k)
+			if !renameAccumulator(copies[k], acc, partial) {
+				continue // conditional structure hid the statement; skip copy
+			}
+			decls = append(decls, &VarDeclStmt{
+				Pos: pos, Name: partial, Type: IntType,
+				Init: &IntLit{exprBase: exprBase{Pos: pos}, Val: 0},
+			})
+			op := TokPlus
+			if acc.minus {
+				op = TokMinus
+			}
+			folds = append(folds, &AssignStmt{
+				Pos: pos,
+				LHS: &IdentExpr{exprBase: exprBase{Pos: pos}, Name: acc.name},
+				RHS: &BinaryExpr{exprBase: exprBase{Pos: pos}, Op: op,
+					L: &IdentExpr{exprBase: exprBase{Pos: pos}, Name: acc.name},
+					R: &IdentExpr{exprBase: exprBase{Pos: pos}, Name: partial}},
+			})
+		}
+		u.nextAcc++
+	}
+	return decls, folds
+}

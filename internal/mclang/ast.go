@@ -1,0 +1,271 @@
+package mclang
+
+import "fmt"
+
+// TypeKind discriminates language types.
+type TypeKind int
+
+// Type kinds. Pointers are one level deep over int or float (pointer to
+// pointer is permitted syntactically via nesting but unused in practice).
+const (
+	TypeInt TypeKind = iota
+	TypeFloat
+	TypePtr
+	TypeVoid // function return only
+)
+
+// Type is an mclang type.
+type Type struct {
+	Kind TypeKind
+	Elem *Type // for TypePtr
+}
+
+// Canonical singleton types.
+var (
+	IntType   = &Type{Kind: TypeInt}
+	FloatType = &Type{Kind: TypeFloat}
+	VoidType  = &Type{Kind: TypeVoid}
+)
+
+// PtrTo returns the pointer type over elem.
+func PtrTo(elem *Type) *Type { return &Type{Kind: TypePtr, Elem: elem} }
+
+// Equal reports structural type equality.
+func (t *Type) Equal(u *Type) bool {
+	if t == nil || u == nil {
+		return t == u
+	}
+	if t.Kind != u.Kind {
+		return false
+	}
+	if t.Kind == TypePtr {
+		return t.Elem.Equal(u.Elem)
+	}
+	return true
+}
+
+// IsPtr reports whether t is a pointer type.
+func (t *Type) IsPtr() bool { return t != nil && t.Kind == TypePtr }
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeVoid:
+		return "void"
+	case TypePtr:
+		return t.Elem.String() + "*"
+	}
+	return "?"
+}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a global scalar or array with optional initializers.
+type GlobalDecl struct {
+	Pos       Pos
+	Name      string
+	Elem      *Type // element type: int or float
+	Count     int64 // 1 for scalars, array length otherwise
+	IsArray   bool
+	InitInts  []int64   // constant initializers (Elem int)
+	InitFlts  []float64 // constant initializers (Elem float)
+	HasInit   bool
+	InitExprs []Expr // raw initializer expressions (const-folded in sema)
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type *Type
+	Pos  Pos
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []*Param
+	Ret    *Type // VoidType when omitted
+	Body   *BlockStmt
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// Expr is implemented by all expression nodes. Sema annotates each node
+// with its type via SetType/TypeOf.
+type Expr interface {
+	exprNode()
+	TypeOf() *Type
+	setType(*Type)
+	Position() Pos
+}
+
+type exprBase struct {
+	typ *Type
+	Pos Pos
+}
+
+func (e *exprBase) exprNode()       {}
+func (e *exprBase) TypeOf() *Type   { return e.typ }
+func (e *exprBase) setType(t *Type) { e.typ = t }
+func (e *exprBase) Position() Pos   { return e.Pos }
+func (e *exprBase) String() string  { return fmt.Sprintf("expr@%s", e.Pos) }
+
+// Statements.
+
+// BlockStmt is a brace-delimited statement list with its own scope.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// VarDeclStmt declares a local scalar with optional initializer.
+type VarDeclStmt struct {
+	Pos  Pos
+	Name string
+	Type *Type
+	Init Expr // nil when absent
+}
+
+// AssignStmt assigns to an lvalue (variable, *ptr, g[i], p[i]).
+type AssignStmt struct {
+	Pos Pos
+	LHS Expr // IdentExpr, IndexExpr, or DerefExpr
+	RHS Expr
+}
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // nil when absent
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is a C-style for loop; Init and Post are assignments (or nil).
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // AssignStmt or nil
+	Cond Expr // nil means true
+	Post Stmt // AssignStmt or nil
+	Body Stmt
+}
+
+// ReturnStmt returns an optional value.
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr // nil for bare return
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt jumps to the innermost loop's post/condition.
+type ContinueStmt struct{ Pos Pos }
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarDeclStmt) stmtNode()  {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Expressions.
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Val int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	exprBase
+	Val float64
+}
+
+// IdentExpr references a local, parameter, or global scalar.
+type IdentExpr struct {
+	exprBase
+	Name string
+}
+
+// IndexExpr is base[index] where base is an array global or a pointer.
+type IndexExpr struct {
+	exprBase
+	Base  Expr
+	Index Expr
+}
+
+// DerefExpr is *ptr.
+type DerefExpr struct {
+	exprBase
+	X Expr
+}
+
+// AddrExpr is &g or &g[i] for a global g.
+type AddrExpr struct {
+	exprBase
+	X Expr // IdentExpr or IndexExpr over a global array
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	exprBase
+	Op TokKind // TokMinus or TokNot
+	X  Expr
+}
+
+// BinaryExpr is a binary operation, including && and || (short-circuit).
+type BinaryExpr struct {
+	exprBase
+	Op   TokKind
+	L, R Expr
+}
+
+// CallExpr calls a named function.
+type CallExpr struct {
+	exprBase
+	Name string
+	Args []Expr
+}
+
+// MallocExpr allocates Size bytes on the heap; its type is set by an
+// enclosing cast, defaulting to int*.
+type MallocExpr struct {
+	exprBase
+	Size Expr
+	Site int // static call-site index, assigned by sema
+}
+
+// CastExpr converts between int and float, or retypes a pointer.
+type CastExpr struct {
+	exprBase
+	To *Type
+	X  Expr
+}

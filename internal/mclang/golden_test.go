@@ -1,0 +1,52 @@
+package mclang
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mcpart/internal/ir"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenIR pins the exact IR lowering of representative programs.
+// Regenerate with `go test ./internal/mclang -run TestGoldenIR -update`
+// after an intentional lowering change, and review the diff.
+func TestGoldenIR(t *testing.T) {
+	srcs, err := filepath.Glob("testdata/*.mc")
+	if err != nil || len(srcs) == 0 {
+		t.Fatalf("no testdata programs: %v", err)
+	}
+	for _, src := range srcs {
+		src := src
+		t.Run(filepath.Base(src), func(t *testing.T) {
+			data, err := os.ReadFile(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mod, err := Compile(string(data), strings.TrimSuffix(filepath.Base(src), ".mc"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := ir.Print(mod)
+			golden := strings.TrimSuffix(src, ".mc") + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("lowering changed for %s; diff against %s and run -update if intended\ngot:\n%s",
+					src, golden, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,620 @@
+package mclang
+
+import (
+	"fmt"
+
+	"mcpart/internal/ir"
+)
+
+// WordSize is the size in bytes of every mclang value in memory.
+const WordSize = 8
+
+// Lower translates an analyzed program into an IR module named name.
+// Globals become ir global objects (one word per element); each malloc call
+// site becomes an ir heap object whose size the profiler later fills in.
+func Lower(info *Info, name string) (*ir.Module, error) {
+	lo := &lowerer{
+		info:     info,
+		mod:      ir.NewModule(name),
+		objOf:    map[*GlobalDecl]*ir.Object{},
+		localReg: map[*VarDeclStmt]ir.VReg{},
+	}
+	for _, g := range info.Prog.Globals {
+		obj := &ir.Object{
+			Name:    g.Name,
+			Kind:    ir.ObjGlobal,
+			Size:    g.Count * WordSize,
+			IsFloat: g.Elem.Kind == TypeFloat,
+		}
+		if g.Elem.Kind == TypeFloat {
+			obj.FloatInit = g.InitFlts
+			obj.Init = make([]int64, len(g.InitFlts))
+		} else {
+			obj.Init = g.InitInts
+		}
+		lo.mod.AddObject(obj)
+		lo.objOf[g] = obj
+	}
+	for _, sn := range info.MallocSiteNames {
+		lo.sites = append(lo.sites, lo.mod.AddObject(&ir.Object{
+			Name: sn,
+			Kind: ir.ObjHeap,
+		}))
+	}
+	for _, f := range info.Prog.Funcs {
+		if err := lo.lowerFunc(f); err != nil {
+			return nil, err
+		}
+	}
+	if err := ir.Verify(lo.mod); err != nil {
+		return nil, fmt.Errorf("mclang: lowering produced invalid IR: %w", err)
+	}
+	return lo.mod, nil
+}
+
+// Compile is the convenience entry point: parse, analyze and lower src.
+func Compile(src, name string) (*ir.Module, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(info, name)
+}
+
+type lowerer struct {
+	info     *Info
+	mod      *ir.Module
+	objOf    map[*GlobalDecl]*ir.Object
+	sites    []*ir.Object
+	bd       *ir.Builder
+	fn       *FuncDecl
+	localReg map[*VarDeclStmt]ir.VReg
+	breaks   []*ir.Block
+	conts    []*ir.Block
+}
+
+func (lo *lowerer) lowerFunc(f *FuncDecl) error {
+	lo.fn = f
+	lo.bd = ir.NewBuilder(lo.mod, f.Name, len(f.Params))
+	lo.breaks, lo.conts = nil, nil
+	if err := lo.stmt(f.Body); err != nil {
+		return err
+	}
+	if !lo.terminated() {
+		switch f.Ret.Kind {
+		case TypeVoid:
+			lo.bd.Ret()
+		case TypeFloat:
+			lo.bd.Ret(ir.ConstFloat(0))
+		default:
+			lo.bd.Ret(ir.ConstInt(0))
+		}
+	}
+	return nil
+}
+
+func (lo *lowerer) terminated() bool {
+	t := lo.bd.Block().Terminator()
+	return t != nil && t.Opcode.IsTerminator()
+}
+
+func (lo *lowerer) stmt(s Stmt) error {
+	if lo.terminated() {
+		// Unreachable code after return/break/continue: lower it into a
+		// fresh detached block so the IR stays structurally well-formed.
+		lo.bd.SetBlock(lo.bd.NewBlock())
+	}
+	switch x := s.(type) {
+	case *BlockStmt:
+		for _, st := range x.Stmts {
+			if err := lo.stmt(st); err != nil {
+				return err
+			}
+		}
+	case *VarDeclStmt:
+		r := lo.bd.NewReg()
+		lo.localReg[x] = r
+		if x.Init != nil {
+			return lo.exprInto(x.Init, r)
+		}
+		if x.Type.Kind == TypeFloat {
+			lo.bd.EmitTo(r, ir.OpMov, ir.ConstFloat(0))
+		} else {
+			lo.bd.EmitTo(r, ir.OpMov, ir.ConstInt(0))
+		}
+	case *AssignStmt:
+		return lo.assign(x)
+	case *ExprStmt:
+		_, err := lo.exprForEffect(x.X)
+		return err
+	case *IfStmt:
+		return lo.ifStmt(x)
+	case *WhileStmt:
+		return lo.whileStmt(x)
+	case *ForStmt:
+		return lo.forStmt(x)
+	case *ReturnStmt:
+		if x.X == nil {
+			lo.bd.Ret()
+			return nil
+		}
+		v, err := lo.expr(x.X)
+		if err != nil {
+			return err
+		}
+		lo.bd.Ret(v)
+	case *BreakStmt:
+		lo.bd.Br(lo.breaks[len(lo.breaks)-1])
+	case *ContinueStmt:
+		lo.bd.Br(lo.conts[len(lo.conts)-1])
+	default:
+		return fmt.Errorf("lower: unknown statement %T", s)
+	}
+	return nil
+}
+
+func (lo *lowerer) assign(x *AssignStmt) error {
+	switch lhs := x.LHS.(type) {
+	case *IdentExpr:
+		switch lo.info.Kind[lhs] {
+		case SymLocal:
+			return lo.exprInto(x.RHS, lo.localReg[lo.info.LocalOf[lhs]])
+		case SymParam:
+			return lo.exprInto(x.RHS, ir.VReg(lo.info.ParamOf[lhs]))
+		case SymGlobalScalar:
+			addr := lo.bd.Addr(lo.objOf[lo.info.GlobalOf[lhs]])
+			v, err := lo.expr(x.RHS)
+			if err != nil {
+				return err
+			}
+			lo.bd.Store(ir.Reg(addr), v)
+			return nil
+		}
+		return errf(lhs.Pos, "cannot assign to %q", lhs.Name)
+	case *IndexExpr:
+		addr, err := lo.address(lhs)
+		if err != nil {
+			return err
+		}
+		v, err := lo.expr(x.RHS)
+		if err != nil {
+			return err
+		}
+		lo.bd.Store(addr, v)
+		return nil
+	case *DerefExpr:
+		addr, err := lo.expr(lhs.X)
+		if err != nil {
+			return err
+		}
+		v, err := lo.expr(x.RHS)
+		if err != nil {
+			return err
+		}
+		lo.bd.Store(addr, v)
+		return nil
+	}
+	return errf(x.Pos, "expression is not assignable")
+}
+
+func (lo *lowerer) ifStmt(x *IfStmt) error {
+	cond, err := lo.expr(x.Cond)
+	if err != nil {
+		return err
+	}
+	thenB := lo.bd.NewBlock()
+	joinB := lo.bd.NewBlock()
+	elseB := joinB
+	if x.Else != nil {
+		elseB = lo.bd.NewBlock()
+	}
+	lo.bd.BrCond(cond, thenB, elseB)
+	lo.bd.SetBlock(thenB)
+	if err := lo.stmt(x.Then); err != nil {
+		return err
+	}
+	if !lo.terminated() {
+		lo.bd.Br(joinB)
+	}
+	if x.Else != nil {
+		lo.bd.SetBlock(elseB)
+		if err := lo.stmt(x.Else); err != nil {
+			return err
+		}
+		if !lo.terminated() {
+			lo.bd.Br(joinB)
+		}
+	}
+	lo.bd.SetBlock(joinB)
+	return nil
+}
+
+func (lo *lowerer) whileStmt(x *WhileStmt) error {
+	condB := lo.bd.NewBlock()
+	bodyB := lo.bd.NewBlock()
+	exitB := lo.bd.NewBlock()
+	lo.bd.Br(condB)
+	lo.bd.SetBlock(condB)
+	cond, err := lo.expr(x.Cond)
+	if err != nil {
+		return err
+	}
+	lo.bd.BrCond(cond, bodyB, exitB)
+	lo.bd.SetBlock(bodyB)
+	lo.breaks = append(lo.breaks, exitB)
+	lo.conts = append(lo.conts, condB)
+	err = lo.stmt(x.Body)
+	lo.breaks = lo.breaks[:len(lo.breaks)-1]
+	lo.conts = lo.conts[:len(lo.conts)-1]
+	if err != nil {
+		return err
+	}
+	if !lo.terminated() {
+		lo.bd.Br(condB)
+	}
+	lo.bd.SetBlock(exitB)
+	return nil
+}
+
+func (lo *lowerer) forStmt(x *ForStmt) error {
+	if x.Init != nil {
+		if err := lo.stmt(x.Init); err != nil {
+			return err
+		}
+	}
+	condB := lo.bd.NewBlock()
+	bodyB := lo.bd.NewBlock()
+	postB := lo.bd.NewBlock()
+	exitB := lo.bd.NewBlock()
+	lo.bd.Br(condB)
+	lo.bd.SetBlock(condB)
+	if x.Cond != nil {
+		cond, err := lo.expr(x.Cond)
+		if err != nil {
+			return err
+		}
+		lo.bd.BrCond(cond, bodyB, exitB)
+	} else {
+		lo.bd.Br(bodyB)
+	}
+	lo.bd.SetBlock(bodyB)
+	lo.breaks = append(lo.breaks, exitB)
+	lo.conts = append(lo.conts, postB)
+	err := lo.stmt(x.Body)
+	lo.breaks = lo.breaks[:len(lo.breaks)-1]
+	lo.conts = lo.conts[:len(lo.conts)-1]
+	if err != nil {
+		return err
+	}
+	if !lo.terminated() {
+		lo.bd.Br(postB)
+	}
+	lo.bd.SetBlock(postB)
+	if x.Post != nil {
+		if err := lo.stmt(x.Post); err != nil {
+			return err
+		}
+	}
+	lo.bd.Br(condB)
+	lo.bd.SetBlock(exitB)
+	return nil
+}
+
+// address lowers an IndexExpr to the address operand of the indexed word.
+func (lo *lowerer) address(x *IndexExpr) (ir.Operand, error) {
+	base, err := lo.expr(x.Base)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	idx, err := lo.expr(x.Index)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	if idx.Kind == ir.OperInt {
+		if idx.Int == 0 {
+			return base, nil
+		}
+		return ir.Reg(lo.bd.Emit(ir.OpAdd, base, ir.ConstInt(idx.Int*WordSize))), nil
+	}
+	off := lo.bd.Emit(ir.OpShl, idx, ir.ConstInt(3))
+	return ir.Reg(lo.bd.Emit(ir.OpAdd, base, ir.Reg(off))), nil
+}
+
+// exprInto lowers e directly into register dst when the final producing
+// operation allows it (binary/unary arithmetic, loads, calls, casts),
+// avoiding a trailing mov. This keeps induction updates in the canonical
+// `r = add r, C` form the scheduler's replication analysis recognizes.
+func (lo *lowerer) exprInto(e Expr, dst ir.VReg) error {
+	switch x := e.(type) {
+	case *BinaryExpr:
+		if x.Op != TokAndAnd && x.Op != TokOrOr {
+			lt, rt := x.L.TypeOf(), x.R.TypeOf()
+			if !lt.IsPtr() && !rt.IsPtr() {
+				l, err := lo.expr(x.L)
+				if err != nil {
+					return err
+				}
+				r, err := lo.expr(x.R)
+				if err != nil {
+					return err
+				}
+				opc := intBinOp[x.Op]
+				if lt.Kind == TypeFloat {
+					var ok bool
+					if opc, ok = floatBinOp[x.Op]; !ok {
+						return errf(x.Pos, "operator %s not defined on float", x.Op)
+					}
+				}
+				lo.bd.EmitTo(dst, opc, l, r)
+				return nil
+			}
+		}
+	case *UnaryExpr:
+		v, err := lo.expr(x.X)
+		if err != nil {
+			return err
+		}
+		switch x.Op {
+		case TokMinus:
+			if x.TypeOf().Kind == TypeFloat {
+				lo.bd.EmitTo(dst, ir.OpFNeg, v)
+			} else {
+				lo.bd.EmitTo(dst, ir.OpNeg, v)
+			}
+			return nil
+		case TokNot:
+			lo.bd.EmitTo(dst, ir.OpCmpEQ, v, ir.ConstInt(0))
+			return nil
+		}
+	case *IndexExpr:
+		addr, err := lo.address(x)
+		if err != nil {
+			return err
+		}
+		lo.bd.EmitTo(dst, ir.OpLoad, addr)
+		return nil
+	case *DerefExpr:
+		addr, err := lo.expr(x.X)
+		if err != nil {
+			return err
+		}
+		lo.bd.EmitTo(dst, ir.OpLoad, addr)
+		return nil
+	case *CallExpr:
+		if x.TypeOf().Kind != TypeVoid {
+			args, err := lo.exprList(x.Args)
+			if err != nil {
+				return err
+			}
+			lo.bd.CallTo(dst, x.Name, args...)
+			return nil
+		}
+	}
+	v, err := lo.expr(e)
+	if err != nil {
+		return err
+	}
+	lo.bd.EmitTo(dst, ir.OpMov, v)
+	return nil
+}
+
+// exprForEffect lowers an expression statement; call results are discarded.
+func (lo *lowerer) exprForEffect(e Expr) (ir.Operand, error) {
+	if call, ok := e.(*CallExpr); ok {
+		args, err := lo.exprList(call.Args)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		lo.bd.Call(call.Name, false, args...)
+		return ir.Operand{}, nil
+	}
+	return lo.expr(e)
+}
+
+func (lo *lowerer) exprList(es []Expr) ([]ir.Operand, error) {
+	out := make([]ir.Operand, len(es))
+	for i, e := range es {
+		v, err := lo.expr(e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (lo *lowerer) expr(e Expr) (ir.Operand, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return ir.ConstInt(x.Val), nil
+	case *FloatLit:
+		return ir.ConstFloat(x.Val), nil
+	case *IdentExpr:
+		switch lo.info.Kind[x] {
+		case SymLocal:
+			return ir.Reg(lo.localReg[lo.info.LocalOf[x]]), nil
+		case SymParam:
+			return ir.Reg(ir.VReg(lo.info.ParamOf[x])), nil
+		case SymGlobalScalar:
+			addr := lo.bd.Addr(lo.objOf[lo.info.GlobalOf[x]])
+			return ir.Reg(lo.bd.Load(ir.Reg(addr))), nil
+		case SymGlobalArray:
+			return ir.Reg(lo.bd.Addr(lo.objOf[lo.info.GlobalOf[x]])), nil
+		}
+		return ir.Operand{}, errf(x.Pos, "unresolved identifier %q", x.Name)
+	case *IndexExpr:
+		addr, err := lo.address(x)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		return ir.Reg(lo.bd.Load(addr)), nil
+	case *DerefExpr:
+		addr, err := lo.expr(x.X)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		return ir.Reg(lo.bd.Load(addr)), nil
+	case *AddrExpr:
+		if g := lo.info.AddrGlobal[x]; g != nil {
+			return ir.Reg(lo.bd.Addr(lo.objOf[g])), nil
+		}
+		if idx, ok := x.X.(*IndexExpr); ok {
+			return lo.address(idx)
+		}
+		return ir.Operand{}, errf(x.Pos, "cannot take this address")
+	case *UnaryExpr:
+		v, err := lo.expr(x.X)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		switch x.Op {
+		case TokMinus:
+			if x.TypeOf().Kind == TypeFloat {
+				return ir.Reg(lo.bd.Emit(ir.OpFNeg, v)), nil
+			}
+			return ir.Reg(lo.bd.Emit(ir.OpNeg, v)), nil
+		case TokNot:
+			return ir.Reg(lo.bd.Emit(ir.OpCmpEQ, v, ir.ConstInt(0))), nil
+		}
+		return ir.Operand{}, errf(x.Pos, "bad unary operator")
+	case *BinaryExpr:
+		return lo.binary(x)
+	case *CallExpr:
+		args, err := lo.exprList(x.Args)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		if x.TypeOf().Kind == TypeVoid {
+			lo.bd.Call(x.Name, false, args...)
+			return ir.ConstInt(0), nil
+		}
+		return ir.Reg(lo.bd.Call(x.Name, true, args...)), nil
+	case *MallocExpr:
+		size, err := lo.expr(x.Size)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		return ir.Reg(lo.bd.Malloc(lo.sites[x.Site], size)), nil
+	case *CastExpr:
+		v, err := lo.expr(x.X)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		from := x.X.TypeOf()
+		switch {
+		case from.Kind == TypeInt && x.To.Kind == TypeFloat:
+			return ir.Reg(lo.bd.Emit(ir.OpIToF, v)), nil
+		case from.Kind == TypeFloat && x.To.Kind == TypeInt:
+			return ir.Reg(lo.bd.Emit(ir.OpFToI, v)), nil
+		default: // pointer retype or identity
+			return v, nil
+		}
+	}
+	return ir.Operand{}, fmt.Errorf("lower: unknown expression %T", e)
+}
+
+var intBinOp = map[TokKind]ir.Opcode{
+	TokPlus: ir.OpAdd, TokMinus: ir.OpSub, TokStar: ir.OpMul,
+	TokSlash: ir.OpDiv, TokPercent: ir.OpRem, TokAmp: ir.OpAnd,
+	TokPipe: ir.OpOr, TokCaret: ir.OpXor, TokShl: ir.OpShl, TokShr: ir.OpShr,
+	TokEq: ir.OpCmpEQ, TokNe: ir.OpCmpNE, TokLt: ir.OpCmpLT,
+	TokLe: ir.OpCmpLE, TokGt: ir.OpCmpGT, TokGe: ir.OpCmpGE,
+}
+
+var floatBinOp = map[TokKind]ir.Opcode{
+	TokPlus: ir.OpFAdd, TokMinus: ir.OpFSub, TokStar: ir.OpFMul,
+	TokSlash: ir.OpFDiv,
+	TokEq:    ir.OpFCmpEQ, TokNe: ir.OpFCmpNE, TokLt: ir.OpFCmpLT,
+	TokLe: ir.OpFCmpLE, TokGt: ir.OpFCmpGT, TokGe: ir.OpFCmpGE,
+}
+
+func (lo *lowerer) binary(x *BinaryExpr) (ir.Operand, error) {
+	switch x.Op {
+	case TokAndAnd, TokOrOr:
+		return lo.shortCircuit(x)
+	}
+	l, err := lo.expr(x.L)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	// Pointer arithmetic scales the integer side by the word size.
+	lt, rt := x.L.TypeOf(), x.R.TypeOf()
+	if lt.IsPtr() || rt.IsPtr() {
+		if lt.IsPtr() && rt.IsPtr() {
+			// Pointer comparison.
+			r, err := lo.expr(x.R)
+			if err != nil {
+				return ir.Operand{}, err
+			}
+			return ir.Reg(lo.bd.Emit(intBinOp[x.Op], l, r)), nil
+		}
+		r, err := lo.expr(x.R)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		if rt.IsPtr() { // int + ptr
+			return ir.Reg(lo.bd.Emit(ir.OpAdd, r, lo.scaleByWord(l))), nil
+		}
+		opc := ir.OpAdd // ptr ± int
+		if x.Op == TokMinus {
+			opc = ir.OpSub
+		}
+		return ir.Reg(lo.bd.Emit(opc, l, lo.scaleByWord(r))), nil
+	}
+	r, err := lo.expr(x.R)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	if lt.Kind == TypeFloat {
+		opc, ok := floatBinOp[x.Op]
+		if !ok {
+			return ir.Operand{}, errf(x.Pos, "operator %s not defined on float", x.Op)
+		}
+		return ir.Reg(lo.bd.Emit(opc, l, r)), nil
+	}
+	return ir.Reg(lo.bd.Emit(intBinOp[x.Op], l, r)), nil
+}
+
+func (lo *lowerer) scaleByWord(v ir.Operand) ir.Operand {
+	if v.Kind == ir.OperInt {
+		return ir.ConstInt(v.Int * WordSize)
+	}
+	return ir.Reg(lo.bd.Emit(ir.OpShl, v, ir.ConstInt(3)))
+}
+
+// shortCircuit lowers && and || with control flow into a result register.
+func (lo *lowerer) shortCircuit(x *BinaryExpr) (ir.Operand, error) {
+	res := lo.bd.NewReg()
+	l, err := lo.expr(x.L)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	evalR := lo.bd.NewBlock()
+	short := lo.bd.NewBlock()
+	join := lo.bd.NewBlock()
+	if x.Op == TokAndAnd {
+		lo.bd.BrCond(l, evalR, short) // l false -> result 0
+	} else {
+		lo.bd.BrCond(l, short, evalR) // l true -> result 1
+	}
+	lo.bd.SetBlock(short)
+	if x.Op == TokAndAnd {
+		lo.bd.EmitTo(res, ir.OpMov, ir.ConstInt(0))
+	} else {
+		lo.bd.EmitTo(res, ir.OpMov, ir.ConstInt(1))
+	}
+	lo.bd.Br(join)
+	lo.bd.SetBlock(evalR)
+	r, err := lo.expr(x.R)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	lo.bd.EmitTo(res, ir.OpCmpNE, r, ir.ConstInt(0))
+	lo.bd.Br(join)
+	lo.bd.SetBlock(join)
+	return ir.Reg(res), nil
+}

@@ -1,0 +1,274 @@
+package mclang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll("func f(int x) int { return x + 42; } // done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TokKwFunc, TokIdent, TokLParen, TokKwInt, TokIdent,
+		TokRParen, TokKwInt, TokLBrace, TokKwReturn, TokIdent, TokPlus,
+		TokInt, TokSemi, TokRBrace, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+	if toks[11].Int != 42 {
+		t.Errorf("int literal = %d, want 42", toks[11].Int)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := LexAll("== != <= >= << >> && || = < > & | ! ^")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokEq, TokNe, TokLe, TokGe, TokShl, TokShr, TokAndAnd,
+		TokOrOr, TokAssign, TokLt, TokGt, TokAmp, TokPipe, TokNot, TokCaret, TokEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := LexAll("7 3.5 1e3 2.5e-2 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokInt || toks[0].Int != 7 {
+		t.Errorf("tok0 = %+v", toks[0])
+	}
+	if toks[1].Kind != TokFloat || toks[1].Float != 3.5 {
+		t.Errorf("tok1 = %+v", toks[1])
+	}
+	if toks[2].Kind != TokFloat || toks[2].Float != 1000 {
+		t.Errorf("tok2 = %+v", toks[2])
+	}
+	if toks[3].Kind != TokFloat || toks[3].Float != 0.025 {
+		t.Errorf("tok3 = %+v", toks[3])
+	}
+	if toks[4].Kind != TokInt || toks[4].Int != 9 {
+		t.Errorf("tok4 = %+v", toks[4])
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := LexAll("a /* multi\nline */ b // end\nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 { // a b c EOF
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	if toks[2].Pos.Line != 3 {
+		t.Errorf("c on line %d, want 3", toks[2].Pos.Line)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := LexAll("a @ b"); err == nil {
+		t.Error("accepted bad character")
+	}
+	if _, err := LexAll("/* unterminated"); err == nil {
+		t.Error("accepted unterminated comment")
+	}
+}
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func TestParseGlobal(t *testing.T) {
+	p := mustParse(t, "global int tab[4] = {1, 2, 3, 4}; global float x; global int s = 5;")
+	if len(p.Globals) != 3 {
+		t.Fatalf("got %d globals", len(p.Globals))
+	}
+	g := p.Globals[0]
+	if g.Name != "tab" || !g.IsArray || g.Count != 4 || len(g.InitExprs) != 4 {
+		t.Errorf("tab parsed wrong: %+v", g)
+	}
+	if p.Globals[1].Name != "x" || p.Globals[1].Elem.Kind != TypeFloat || p.Globals[1].IsArray {
+		t.Errorf("x parsed wrong: %+v", p.Globals[1])
+	}
+	if p.Globals[2].Count != 1 || len(p.Globals[2].InitExprs) != 1 {
+		t.Errorf("s parsed wrong: %+v", p.Globals[2])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	p := mustParse(t, "func f() int { return 1 + 2 * 3; }")
+	ret := p.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	add, ok := ret.X.(*BinaryExpr)
+	if !ok || add.Op != TokPlus {
+		t.Fatalf("top of 1+2*3 is %T, want + binary", ret.X)
+	}
+	mul, ok := add.R.(*BinaryExpr)
+	if !ok || mul.Op != TokStar {
+		t.Fatalf("right of + is %T, want * binary", add.R)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	p := mustParse(t, `
+func f(int n) int {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        if (i % 2 == 0) { s = s + i; } else { s = s - 1; }
+        while (s > 100) { s = s / 2; break; }
+    }
+    return s;
+}`)
+	if len(p.Funcs) != 1 || p.Funcs[0].Name != "f" {
+		t.Fatal("func not parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"func f( { }",
+		"global int x",              // missing semicolon
+		"func f() int { return }",   // missing expr then ;
+		"func f() { int a[3]; }",    // local array
+		"global int a[0];",          // zero length
+		"func f() { x = ; }",        // missing rhs
+		"stray",                     // top-level garbage
+		"func f() { if x { } }",     // missing parens
+		"func f() { for (;;) }",     // missing body
+		"global int g[2] = {1,2,};", // trailing comma
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted bad program %q", src)
+		}
+	}
+}
+
+func TestSemaResolvesAndTypes(t *testing.T) {
+	p := mustParse(t, `
+global int tab[3] = {10, 20, 30};
+func get(int i) int { return tab[i]; }
+func main() int { return get(1); }`)
+	info, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Globals) != 1 || info.Globals["tab"] == nil {
+		t.Error("tab not registered")
+	}
+	if got := info.Globals["tab"].InitInts; len(got) != 3 || got[1] != 20 {
+		t.Errorf("folded init = %v", got)
+	}
+}
+
+func TestSemaConstFold(t *testing.T) {
+	p := mustParse(t, "global int x = 2 * 3 + 4; global float y = -1.5; func main() int { return 0; }")
+	info, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Globals["x"].InitInts[0] != 10 {
+		t.Errorf("x init = %v", info.Globals["x"].InitInts)
+	}
+	if info.Globals["y"].InitFlts[0] != -1.5 {
+		t.Errorf("y init = %v", info.Globals["y"].InitFlts)
+	}
+}
+
+func TestSemaErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"func f() int { return 0; }", "no main"},
+		{"func main() int { return nope; }", "undefined identifier"},
+		{"func main() int { return 1.5; }", "return float"},
+		{"global int x; global int x; func main() int { return 0; }", "redeclared"},
+		{"func main() int { int a = 1.0; return a; }", "cannot initialize"},
+		{"func main() int { return 1 + 1.0; }", "invalid operands"},
+		{"func main() int { int a; a[0] = 1; return 0; }", "cannot index"},
+		{"func main() int { break; return 0; }", "break outside loop"},
+		{"func main() int { return f(1); }", "undefined function"},
+		{"func g(int a) int { return a; } func main() int { return g(); }", "takes 1 arguments"},
+		{"global int t[2]; func main() int { t = 0; return 0; }", "cannot assign to array"},
+		{"func main() int { int y; return &y; }", "address of a global"},
+		{"global float f; func main() int { if (f) { } return 0; }", "condition must be int"},
+		{"func main() float { return 2.0 % 1.0; }", "must be int"},
+		{"func main() int { return (int)malloc(8); }", "cannot cast"},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("%q failed to parse: %v", c.src, err)
+			continue
+		}
+		_, err = Analyze(p)
+		if err == nil {
+			t.Errorf("Analyze accepted %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), strings.Split(c.want, " ")[0]) {
+			t.Errorf("Analyze(%q) error = %q, want mention of %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestLowerProducesVerifiedIR(t *testing.T) {
+	mod, err := Compile(`
+global int tab[4] = {1, 2, 3, 4};
+func sum(int n) int {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i = i + 1) { s = s + tab[i]; }
+    return s;
+}
+func main() int { return sum(4); }`, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Func("sum") == nil || mod.Func("main") == nil {
+		t.Fatal("functions missing")
+	}
+	if len(mod.Objects) != 1 || mod.Objects[0].Size != 32 {
+		t.Fatalf("objects = %v", mod.Objects)
+	}
+}
+
+func TestLowerMallocSites(t *testing.T) {
+	mod, err := Compile(`
+func main() int {
+    int *a;
+    int *b;
+    a = malloc(64);
+    b = malloc(128);
+    a[0] = 1;
+    b[1] = 2;
+    return a[0] + b[1];
+}`, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := 0
+	for _, o := range mod.Objects {
+		if o.Kind == 1 { // ObjHeap
+			heap++
+		}
+	}
+	if heap != 2 {
+		t.Fatalf("got %d heap sites, want 2", heap)
+	}
+}

@@ -1,0 +1,568 @@
+package mclang
+
+import "fmt"
+
+// Parser builds an AST from a token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses src into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseProgram()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) peekKind(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, errf(t.Pos, "expected %s, found %s", k, describe(t))
+	}
+	p.pos++
+	return t, nil
+}
+
+func describe(t Token) string {
+	switch t.Kind {
+	case TokIdent:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case TokInt:
+		return fmt.Sprintf("integer %d", t.Int)
+	case TokFloat:
+		return fmt.Sprintf("float %g", t.Float)
+	default:
+		return fmt.Sprintf("%q", t.Kind.String())
+	}
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for !p.peekKind(TokEOF) {
+		switch p.cur().Kind {
+		case TokKwGlobal:
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		case TokKwFunc:
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			return nil, errf(p.cur().Pos, "expected global or func declaration, found %s", describe(p.cur()))
+		}
+	}
+	return prog, nil
+}
+
+// isTypeStart reports whether the token can begin a type.
+func isTypeStart(k TokKind) bool { return k == TokKwInt || k == TokKwFloat }
+
+func (p *Parser) parseType() (*Type, error) {
+	var t *Type
+	switch p.cur().Kind {
+	case TokKwInt:
+		t = IntType
+	case TokKwFloat:
+		t = FloatType
+	default:
+		return nil, errf(p.cur().Pos, "expected type, found %s", describe(p.cur()))
+	}
+	p.pos++
+	for p.accept(TokStar) {
+		t = PtrTo(t)
+	}
+	return t, nil
+}
+
+func (p *Parser) parseGlobal() (*GlobalDecl, error) {
+	start, _ := p.expect(TokKwGlobal)
+	elem, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if elem.IsPtr() {
+		return nil, errf(start.Pos, "global pointers are not supported; use int or float")
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Pos: start.Pos, Name: name.Text, Elem: elem, Count: 1}
+	if p.accept(TokLBracket) {
+		n, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		if n.Int <= 0 {
+			return nil, errf(n.Pos, "array length must be positive, got %d", n.Int)
+		}
+		g.Count = n.Int
+		g.IsArray = true
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(TokAssign) {
+		g.HasInit = true
+		if p.accept(TokLBrace) {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				g.InitExprs = append(g.InitExprs, e)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			if _, err := p.expect(TokRBrace); err != nil {
+				return nil, err
+			}
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			g.InitExprs = append(g.InitExprs, e)
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *Parser) parseFunc() (*FuncDecl, error) {
+	start, _ := p.expect(TokKwFunc)
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Pos: start.Pos, Name: name.Text, Ret: VoidType}
+	if !p.peekKind(TokRParen) {
+		for {
+			t, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			id, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			f.Params = append(f.Params, &Param{Name: id.Text, Type: t, Pos: id.Pos})
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if isTypeStart(p.cur().Kind) {
+		rt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		f.Ret = rt
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: lb.Pos}
+	for !p.peekKind(TokRBrace) {
+		if p.peekKind(TokEOF) {
+			return nil, errf(lb.Pos, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			blk.Stmts = append(blk.Stmts, s)
+		}
+	}
+	p.pos++ // consume '}'
+	return blk, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokSemi:
+		p.pos++
+		return nil, nil
+	case TokLBrace:
+		return p.parseBlock()
+	case TokKwInt, TokKwFloat:
+		return p.parseVarDecl()
+	case TokKwIf:
+		return p.parseIf()
+	case TokKwWhile:
+		return p.parseWhile()
+	case TokKwFor:
+		return p.parseFor()
+	case TokKwReturn:
+		p.pos++
+		r := &ReturnStmt{Pos: t.Pos}
+		if !p.peekKind(TokSemi) {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.X = e
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case TokKwBreak:
+		p.pos++
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: t.Pos}, nil
+	case TokKwContinue:
+		p.pos++
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: t.Pos}, nil
+	}
+	s, err := p.parseSimpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseSimpleStmt parses an assignment or expression statement (no
+// trailing semicolon), as used in for-loop clauses.
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	start := p.cur().Pos
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokAssign) {
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: start, LHS: e, RHS: rhs}, nil
+	}
+	return &ExprStmt{Pos: start, X: e}, nil
+}
+
+func (p *Parser) parseVarDecl() (Stmt, error) {
+	start := p.cur().Pos
+	t, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	id, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if p.peekKind(TokLBracket) {
+		return nil, errf(id.Pos, "local arrays are not supported; use a global or malloc")
+	}
+	d := &VarDeclStmt{Pos: start, Name: id.Text, Type: t}
+	if p.accept(TokAssign) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	start, _ := p.expect(TokKwIf)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Pos: start.Pos, Cond: cond, Then: then}
+	if p.accept(TokKwElse) {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+	}
+	return s, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	start, _ := p.expect(TokKwWhile)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: start.Pos, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	start, _ := p.expect(TokKwFor)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Pos: start.Pos}
+	if !p.peekKind(TokSemi) {
+		init, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Init = init
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if !p.peekKind(TokSemi) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if !p.peekKind(TokRParen) {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// Expression parsing by precedence climbing.
+
+var binPrec = map[TokKind]int{
+	TokOrOr:   1,
+	TokAndAnd: 2,
+	TokPipe:   3,
+	TokCaret:  4,
+	TokAmp:    5,
+	TokEq:     6, TokNe: 6,
+	TokLt: 7, TokLe: 7, TokGt: 7, TokGe: 7,
+	TokShl: 8, TokShr: 8,
+	TokPlus: 9, TokMinus: 9,
+	TokStar: 10, TokSlash: 10, TokPercent: 10,
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur()
+		prec, ok := binPrec[op.Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{exprBase: exprBase{Pos: op.Pos}, Op: op.Kind, L: lhs, R: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokMinus, TokNot:
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{exprBase: exprBase{Pos: t.Pos}, Op: t.Kind, X: x}, nil
+	case TokStar:
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &DerefExpr{exprBase: exprBase{Pos: t.Pos}, X: x}, nil
+	case TokAmp:
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &AddrExpr{exprBase: exprBase{Pos: t.Pos}, X: x}, nil
+	case TokLParen:
+		// Cast: '(' type ')' unary.
+		if isTypeStart(p.toks[p.pos+1].Kind) {
+			p.pos++
+			to, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{exprBase: exprBase{Pos: t.Pos}, To: to, X: x}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokLBracket:
+			pos := p.next().Pos
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{exprBase: exprBase{Pos: pos}, Base: e, Index: idx}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch t.Kind {
+	case TokInt:
+		return &IntLit{exprBase: exprBase{Pos: t.Pos}, Val: t.Int}, nil
+	case TokFloat:
+		return &FloatLit{exprBase: exprBase{Pos: t.Pos}, Val: t.Float}, nil
+	case TokKwMalloc:
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		size, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &MallocExpr{exprBase: exprBase{Pos: t.Pos}, Size: size, Site: -1}, nil
+	case TokIdent:
+		if p.peekKind(TokLParen) {
+			p.pos++
+			call := &CallExpr{exprBase: exprBase{Pos: t.Pos}, Name: t.Text}
+			if !p.peekKind(TokRParen) {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(TokComma) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &IdentExpr{exprBase: exprBase{Pos: t.Pos}, Name: t.Text}, nil
+	case TokLParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(t.Pos, "expected expression, found %s", describe(t))
+}

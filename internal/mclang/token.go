@@ -1,0 +1,358 @@
+// Package mclang implements a small C-like language used to express the
+// benchmark programs the partitioning pipeline is evaluated on. It provides
+// a lexer, a recursive-descent parser, a type checker, and a lowering pass
+// that emits mcpart IR.
+//
+// The language has 64-bit ints, float64 floats, pointers, global scalars and
+// arrays (with initializers), heap allocation via malloc, functions, and
+// structured control flow:
+//
+//	global int table[89] = {16, 17, 19, ...};
+//	global float coef[8];
+//
+//	func encode(int *src, int n) int {
+//	    int i; int acc = 0;
+//	    for (i = 0; i < n; i = i + 1) {
+//	        acc = acc + src[i] * table[i % 89];
+//	    }
+//	    return acc;
+//	}
+//
+// Locals are virtual registers (no address-of on locals, no local arrays);
+// all addressable data lives in globals or on the heap, which is exactly the
+// object universe the data partitioner reasons about.
+package mclang
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+
+	// Keywords.
+	TokKwGlobal
+	TokKwFunc
+	TokKwInt
+	TokKwFloat
+	TokKwIf
+	TokKwElse
+	TokKwWhile
+	TokKwFor
+	TokKwReturn
+	TokKwMalloc
+	TokKwBreak
+	TokKwContinue
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemi
+	TokAssign
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokShl
+	TokShr
+	TokAndAnd
+	TokOrOr
+	TokNot
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokInt: "int literal",
+	TokFloat: "float literal", TokKwGlobal: "global", TokKwFunc: "func",
+	TokKwInt: "int", TokKwFloat: "float", TokKwIf: "if", TokKwElse: "else",
+	TokKwWhile: "while", TokKwFor: "for", TokKwReturn: "return",
+	TokKwMalloc: "malloc", TokKwBreak: "break", TokKwContinue: "continue",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokComma: ",", TokSemi: ";",
+	TokAssign: "=", TokPlus: "+", TokMinus: "-", TokStar: "*",
+	TokSlash: "/", TokPercent: "%", TokAmp: "&", TokPipe: "|",
+	TokCaret: "^", TokShl: "<<", TokShr: ">>", TokAndAnd: "&&",
+	TokOrOr: "||", TokNot: "!", TokEq: "==", TokNe: "!=",
+	TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"global": TokKwGlobal, "func": TokKwFunc, "int": TokKwInt,
+	"float": TokKwFloat, "if": TokKwIf, "else": TokKwElse,
+	"while": TokKwWhile, "for": TokKwFor, "return": TokKwReturn,
+	"malloc": TokKwMalloc, "break": TokKwBreak, "continue": TokKwContinue,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind  TokKind
+	Pos   Pos
+	Text  string  // for identifiers
+	Int   int64   // for TokInt
+	Float float64 // for TokFloat
+}
+
+// Error is a front-end diagnostic carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lexer tokenizes mclang source.
+type Lexer struct {
+	src  []rune
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *Lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() rune {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() rune {
+	r := l.src[l.off]
+	l.off++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) pos() Pos { return Pos{l.line, l.col} }
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.off >= len(l.src) {
+					return errf(start, "unterminated block comment")
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		start := l.off
+		for l.off < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+			l.advance()
+		}
+		text := string(l.src[start:l.off])
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Pos: pos, Text: text}, nil
+		}
+		return Token{Kind: TokIdent, Pos: pos, Text: text}, nil
+	case unicode.IsDigit(r):
+		return l.lexNumber(pos)
+	}
+	l.advance()
+	two := func(next rune, with, without TokKind) Token {
+		if l.peek() == next {
+			l.advance()
+			return Token{Kind: with, Pos: pos}
+		}
+		return Token{Kind: without, Pos: pos}
+	}
+	switch r {
+	case '(':
+		return Token{Kind: TokLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemi, Pos: pos}, nil
+	case '+':
+		return Token{Kind: TokPlus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: TokMinus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: TokStar, Pos: pos}, nil
+	case '/':
+		return Token{Kind: TokSlash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: TokPercent, Pos: pos}, nil
+	case '^':
+		return Token{Kind: TokCaret, Pos: pos}, nil
+	case '=':
+		return two('=', TokEq, TokAssign), nil
+	case '!':
+		return two('=', TokNe, TokNot), nil
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return Token{Kind: TokShl, Pos: pos}, nil
+		}
+		return two('=', TokLe, TokLt), nil
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return Token{Kind: TokShr, Pos: pos}, nil
+		}
+		return two('=', TokGe, TokGt), nil
+	case '&':
+		return two('&', TokAndAnd, TokAmp), nil
+	case '|':
+		return two('|', TokOrOr, TokPipe), nil
+	}
+	return Token{}, errf(pos, "unexpected character %q", r)
+}
+
+func (l *Lexer) lexNumber(pos Pos) (Token, error) {
+	start := l.off
+	isFloat := false
+	for l.off < len(l.src) && unicode.IsDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && unicode.IsDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.off
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if unicode.IsDigit(l.peek()) {
+			isFloat = true
+			for l.off < len(l.src) && unicode.IsDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			l.off = save
+		}
+	}
+	text := string(l.src[start:l.off])
+	if isFloat {
+		var f float64
+		if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+			return Token{}, errf(pos, "bad float literal %q", text)
+		}
+		return Token{Kind: TokFloat, Pos: pos, Float: f, Text: text}, nil
+	}
+	var v int64
+	if _, err := fmt.Sscanf(text, "%d", &v); err != nil {
+		return Token{}, errf(pos, "bad int literal %q", text)
+	}
+	return Token{Kind: TokInt, Pos: pos, Int: v, Text: text}, nil
+}
+
+// LexAll tokenizes the whole input (including the trailing EOF token).
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,378 @@
+package mclang
+
+// Loop unrolling, applied between parsing and semantic analysis. VLIW
+// compilers (including the paper's Trimaran toolchain) unroll hot loops so
+// a single scheduling region carries instruction-level parallelism across
+// iterations; without it a 2-cluster machine has nothing to spread. The
+// pass rewrites canonical counted loops
+//
+//	for (i = e0; i < N; i = i + S) body
+//
+// into a main loop stepping U*S that runs U body copies (each in its own
+// scope), followed by an epilogue loop handling the remainder:
+//
+//	for (i = e0; i + (U-1)*S < N; i = i + U*S) { {body} {i+S...} ... }
+//	for (; i < N; i = i + S) body
+//
+// Safety conditions (checked syntactically): the induction variable is a
+// plain identifier that is not a global (a callee could mutate a global
+// counter) and is assigned nowhere in the body, the step is a positive
+// integer constant, the condition is i < e or i <= e with e free of calls
+// and of i, and the body contains no break/continue that would escape the
+// copied iterations.
+
+import "mcpart/internal/ir"
+
+// Unroll rewrites every eligible for loop in prog with the given factor
+// (a no-op when factor < 2). It must run before Analyze, since it creates
+// new AST nodes that need resolution.
+func Unroll(prog *Program, factor int) {
+	if factor < 2 {
+		return
+	}
+	u := &unroller{factor: factor, globals: map[string]bool{}}
+	for _, g := range prog.Globals {
+		u.globals[g.Name] = true
+	}
+	for _, f := range prog.Funcs {
+		u.declType = map[string]*Type{}
+		for _, p := range f.Params {
+			u.declType[p.Name] = p.Type
+		}
+		walkStmts(f.Body, func(s Stmt) {
+			if d, ok := s.(*VarDeclStmt); ok {
+				u.declType[d.Name] = d.Type
+			}
+		})
+		f.Body = u.stmt(f.Body).(*BlockStmt)
+	}
+}
+
+type unroller struct {
+	factor   int
+	globals  map[string]bool
+	declType map[string]*Type
+	nextAcc  int
+}
+
+func (u *unroller) stmt(s Stmt) Stmt {
+	switch x := s.(type) {
+	case *BlockStmt:
+		out := &BlockStmt{Pos: x.Pos}
+		for _, st := range x.Stmts {
+			out.Stmts = append(out.Stmts, u.stmt(st))
+		}
+		return out
+	case *IfStmt:
+		n := &IfStmt{Pos: x.Pos, Cond: x.Cond, Then: u.stmt(x.Then)}
+		if x.Else != nil {
+			n.Else = u.stmt(x.Else)
+		}
+		return n
+	case *WhileStmt:
+		return &WhileStmt{Pos: x.Pos, Cond: x.Cond, Body: u.stmt(x.Body)}
+	case *ForStmt:
+		// Unroll innermost first.
+		inner := &ForStmt{Pos: x.Pos, Init: x.Init, Cond: x.Cond, Post: x.Post, Body: u.stmt(x.Body)}
+		if un := u.tryUnroll(inner); un != nil {
+			return un
+		}
+		return inner
+	default:
+		return s
+	}
+}
+
+// tryUnroll returns the unrolled replacement or nil if the loop is not
+// eligible.
+func (u *unroller) tryUnroll(loop *ForStmt) Stmt {
+	iv, step, ok := canonicalPost(loop.Post)
+	if !ok || u.globals[iv] {
+		return nil
+	}
+	cond, ok := loop.Cond.(*BinaryExpr)
+	if !ok || (cond.Op != TokLt && cond.Op != TokLe) {
+		return nil
+	}
+	lhs, ok := cond.L.(*IdentExpr)
+	if !ok || lhs.Name != iv {
+		return nil
+	}
+	if mentions(cond.R, iv) || hasCall(cond.R) {
+		return nil
+	}
+	if loop.Init != nil {
+		asg, ok := loop.Init.(*AssignStmt)
+		if !ok {
+			return nil
+		}
+		if id, ok := asg.LHS.(*IdentExpr); !ok || id.Name != iv {
+			return nil
+		}
+	}
+	if !bodySafe(loop.Body, iv) {
+		return nil
+	}
+	if containsLoop(loop.Body) {
+		return nil // only innermost loops unroll, as in most VLIW compilers
+	}
+
+	// Main loop: cond becomes  i + (U-1)*S <op> bound ; post steps U*S;
+	// body is U copies, copy k executing with an adjusted view of i by
+	// prefixing `i = i + S` between copies and restoring via the post.
+	// To keep the rewrite simple and obviously correct we step the real
+	// induction variable between copies:
+	//
+	//	{ body; i = i + S; body; i = i + S; ...; body }   // U copies, U-1 steps
+	//	post: i = i + S                                    // completes U*S
+	//
+	// The guard ensures all U iterations are in range.
+	pos := loop.Pos
+	ident := func() *IdentExpr { return &IdentExpr{exprBase: exprBase{Pos: pos}, Name: iv} }
+	intLit := func(v int64) *IntLit { return &IntLit{exprBase: exprBase{Pos: pos}, Val: v} }
+	stepBy := func(mult int64) *AssignStmt {
+		return &AssignStmt{Pos: pos, LHS: ident(), RHS: &BinaryExpr{
+			exprBase: exprBase{Pos: pos}, Op: TokPlus, L: ident(), R: intLit(step * mult)}}
+	}
+
+	guard := &BinaryExpr{exprBase: exprBase{Pos: pos}, Op: cond.Op,
+		L: &BinaryExpr{exprBase: exprBase{Pos: pos}, Op: TokPlus,
+			L: ident(), R: intLit(step * int64(u.factor-1))},
+		R: cloneExpr(cond.R),
+	}
+	mainBody := &BlockStmt{Pos: pos}
+	copies := make([]Stmt, 0, u.factor)
+	for k := 0; k < u.factor; k++ {
+		if k > 0 {
+			mainBody.Stmts = append(mainBody.Stmts, stepBy(1))
+		}
+		c := cloneStmt(loop.Body)
+		copies = append(copies, c)
+		mainBody.Stmts = append(mainBody.Stmts, c)
+	}
+	accs := u.findAccumulators(loop.Body)
+	decls, folds := u.expandAccumulators(pos, accs, copies)
+	main := &ForStmt{Pos: pos, Init: loop.Init, Cond: guard, Post: stepBy(1), Body: mainBody}
+	epilogue := &ForStmt{Pos: pos, Cond: cloneExpr(loop.Cond), Post: cloneStmt(loop.Post).(*AssignStmt), Body: cloneStmt(loop.Body)}
+	out := &BlockStmt{Pos: pos}
+	out.Stmts = append(out.Stmts, decls...)
+	out.Stmts = append(out.Stmts, main)
+	out.Stmts = append(out.Stmts, folds...)
+	out.Stmts = append(out.Stmts, epilogue)
+	return out
+}
+
+// canonicalPost matches `i = i + C` (C a positive int literal) and returns
+// the induction variable name and step.
+func canonicalPost(post Stmt) (string, int64, bool) {
+	asg, ok := post.(*AssignStmt)
+	if !ok {
+		return "", 0, false
+	}
+	lhs, ok := asg.LHS.(*IdentExpr)
+	if !ok {
+		return "", 0, false
+	}
+	bin, ok := asg.RHS.(*BinaryExpr)
+	if !ok || bin.Op != TokPlus {
+		return "", 0, false
+	}
+	l, ok := bin.L.(*IdentExpr)
+	if !ok || l.Name != lhs.Name {
+		return "", 0, false
+	}
+	c, ok := bin.R.(*IntLit)
+	if !ok || c.Val <= 0 {
+		return "", 0, false
+	}
+	return lhs.Name, c.Val, true
+}
+
+// bodySafe reports whether the loop body can be duplicated: no
+// break/continue anywhere inside (even in nested loops, to stay simple),
+// and no assignment to the induction variable.
+func bodySafe(s Stmt, iv string) bool {
+	switch x := s.(type) {
+	case nil:
+		return true
+	case *BlockStmt:
+		for _, st := range x.Stmts {
+			if !bodySafe(st, iv) {
+				return false
+			}
+		}
+		return true
+	case *VarDeclStmt:
+		return x.Name != iv // shadowing would change copy semantics
+	case *AssignStmt:
+		if id, ok := x.LHS.(*IdentExpr); ok && id.Name == iv {
+			return false
+		}
+		return true
+	case *ExprStmt, *ReturnStmt:
+		// Return inside a loop exits the function; duplicating the body
+		// cannot execute an extra return because the guard admits all U
+		// iterations. Safe.
+		return true
+	case *IfStmt:
+		return bodySafe(x.Then, iv) && bodySafe(x.Else, iv)
+	case *WhileStmt:
+		return bodySafe(x.Body, iv)
+	case *ForStmt:
+		return bodySafe(x.Init, iv) && bodySafe(x.Post, iv) && bodySafe(x.Body, iv)
+	case *BreakStmt, *ContinueStmt:
+		return false
+	}
+	return false
+}
+
+// containsLoop reports whether any loop statement appears inside s.
+func containsLoop(s Stmt) bool {
+	switch x := s.(type) {
+	case *BlockStmt:
+		for _, st := range x.Stmts {
+			if containsLoop(st) {
+				return true
+			}
+		}
+	case *IfStmt:
+		return containsLoop(x.Then) || (x.Else != nil && containsLoop(x.Else))
+	case *WhileStmt, *ForStmt:
+		return true
+	}
+	return false
+}
+
+func mentions(e Expr, name string) bool {
+	found := false
+	walkExpr(e, func(x Expr) {
+		if id, ok := x.(*IdentExpr); ok && id.Name == name {
+			found = true
+		}
+	})
+	return found
+}
+
+func hasCall(e Expr) bool {
+	found := false
+	walkExpr(e, func(x Expr) {
+		switch x.(type) {
+		case *CallExpr, *MallocExpr:
+			found = true
+		}
+	})
+	return found
+}
+
+func walkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *IndexExpr:
+		walkExpr(x.Base, fn)
+		walkExpr(x.Index, fn)
+	case *DerefExpr:
+		walkExpr(x.X, fn)
+	case *AddrExpr:
+		walkExpr(x.X, fn)
+	case *UnaryExpr:
+		walkExpr(x.X, fn)
+	case *BinaryExpr:
+		walkExpr(x.L, fn)
+		walkExpr(x.R, fn)
+	case *CallExpr:
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+	case *MallocExpr:
+		walkExpr(x.Size, fn)
+	case *CastExpr:
+		walkExpr(x.X, fn)
+	}
+}
+
+// cloneStmt deep-copies a statement tree (fresh nodes, so sema annotations
+// stay per-copy).
+func cloneStmt(s Stmt) Stmt {
+	switch x := s.(type) {
+	case nil:
+		return nil
+	case *BlockStmt:
+		n := &BlockStmt{Pos: x.Pos}
+		for _, st := range x.Stmts {
+			n.Stmts = append(n.Stmts, cloneStmt(st))
+		}
+		return n
+	case *VarDeclStmt:
+		return &VarDeclStmt{Pos: x.Pos, Name: x.Name, Type: x.Type, Init: cloneExpr(x.Init)}
+	case *AssignStmt:
+		return &AssignStmt{Pos: x.Pos, LHS: cloneExpr(x.LHS), RHS: cloneExpr(x.RHS)}
+	case *ExprStmt:
+		return &ExprStmt{Pos: x.Pos, X: cloneExpr(x.X)}
+	case *IfStmt:
+		return &IfStmt{Pos: x.Pos, Cond: cloneExpr(x.Cond), Then: cloneStmt(x.Then), Else: cloneStmt(x.Else)}
+	case *WhileStmt:
+		return &WhileStmt{Pos: x.Pos, Cond: cloneExpr(x.Cond), Body: cloneStmt(x.Body)}
+	case *ForStmt:
+		return &ForStmt{Pos: x.Pos, Init: cloneStmt(x.Init), Cond: cloneExpr(x.Cond),
+			Post: cloneStmt(x.Post), Body: cloneStmt(x.Body)}
+	case *ReturnStmt:
+		return &ReturnStmt{Pos: x.Pos, X: cloneExpr(x.X)}
+	case *BreakStmt:
+		return &BreakStmt{Pos: x.Pos}
+	case *ContinueStmt:
+		return &ContinueStmt{Pos: x.Pos}
+	}
+	panic("mclang: cloneStmt: unknown statement")
+}
+
+func cloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *IntLit:
+		return &IntLit{exprBase: exprBase{Pos: x.Pos}, Val: x.Val}
+	case *FloatLit:
+		return &FloatLit{exprBase: exprBase{Pos: x.Pos}, Val: x.Val}
+	case *IdentExpr:
+		return &IdentExpr{exprBase: exprBase{Pos: x.Pos}, Name: x.Name}
+	case *IndexExpr:
+		return &IndexExpr{exprBase: exprBase{Pos: x.Pos}, Base: cloneExpr(x.Base), Index: cloneExpr(x.Index)}
+	case *DerefExpr:
+		return &DerefExpr{exprBase: exprBase{Pos: x.Pos}, X: cloneExpr(x.X)}
+	case *AddrExpr:
+		return &AddrExpr{exprBase: exprBase{Pos: x.Pos}, X: cloneExpr(x.X)}
+	case *UnaryExpr:
+		return &UnaryExpr{exprBase: exprBase{Pos: x.Pos}, Op: x.Op, X: cloneExpr(x.X)}
+	case *BinaryExpr:
+		return &BinaryExpr{exprBase: exprBase{Pos: x.Pos}, Op: x.Op, L: cloneExpr(x.L), R: cloneExpr(x.R)}
+	case *CallExpr:
+		n := &CallExpr{exprBase: exprBase{Pos: x.Pos}, Name: x.Name}
+		for _, a := range x.Args {
+			n.Args = append(n.Args, cloneExpr(a))
+		}
+		return n
+	case *MallocExpr:
+		return &MallocExpr{exprBase: exprBase{Pos: x.Pos}, Size: cloneExpr(x.Size), Site: -1}
+	case *CastExpr:
+		return &CastExpr{exprBase: exprBase{Pos: x.Pos}, To: x.To, X: cloneExpr(x.X)}
+	}
+	panic("mclang: cloneExpr: unknown expression")
+}
+
+// CompileUnrolled parses src, unrolls counted loops by factor, analyzes and
+// lowers. factor < 2 matches Compile exactly.
+func CompileUnrolled(src, name string, factor int) (*ir.Module, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	Unroll(prog, factor)
+	info, err := Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(info, name)
+}

@@ -1,0 +1,175 @@
+package mclang
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mcpart/internal/interp"
+	"mcpart/internal/ir"
+)
+
+func interpRun(t *testing.T, mod *ir.Module) int64 {
+	t.Helper()
+	v, err := interp.New(mod, interp.Options{}).RunMain()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v.I
+}
+
+func countForLoops(s Stmt) int {
+	n := 0
+	switch x := s.(type) {
+	case *BlockStmt:
+		for _, st := range x.Stmts {
+			n += countForLoops(st)
+		}
+	case *IfStmt:
+		n += countForLoops(x.Then)
+		if x.Else != nil {
+			n += countForLoops(x.Else)
+		}
+	case *WhileStmt:
+		n += countForLoops(x.Body)
+	case *ForStmt:
+		n = 1 + countForLoops(x.Body)
+	}
+	return n
+}
+
+func TestUnrollRewritesCountedLoop(t *testing.T) {
+	prog := mustParse(t, `
+func main() int {
+    int i;
+    int s = 0;
+    for (i = 0; i < 10; i = i + 1) { s = s + i; }
+    return s;
+}`)
+	before := countForLoops(prog.Funcs[0].Body)
+	Unroll(prog, 4)
+	after := countForLoops(prog.Funcs[0].Body)
+	if before != 1 || after != 2 {
+		t.Fatalf("loops before/after = %d/%d, want 1/2 (main + epilogue)", before, after)
+	}
+	if _, err := Analyze(prog); err != nil {
+		t.Fatalf("unrolled program fails sema: %v", err)
+	}
+}
+
+func TestUnrollSkipsIneligible(t *testing.T) {
+	srcs := []string{
+		// break in body
+		`func main() int { int i; for (i = 0; i < 9; i = i + 1) { break; } return i; }`,
+		// induction variable reassigned
+		`func main() int { int i; for (i = 0; i < 9; i = i + 1) { i = i + 2; } return i; }`,
+		// non-constant step
+		`func main() int { int i; int s = 1; for (i = 0; i < 9; i = i + s) { s = s; } return i; }`,
+		// condition mentions i on the right
+		`func main() int { int i; for (i = 0; i < i + 3; i = i + 1) { return 0; } return i; }`,
+		// while loop, not canonical
+		`func main() int { int i = 0; while (i < 9) { i = i + 1; } return i; }`,
+		// global induction variable
+		`global int g; func bump() { g = g + 5; } func main() int { for (g = 0; g < 9; g = g + 1) { bump(); } return g; }`,
+	}
+	for _, src := range srcs {
+		prog := mustParse(t, src)
+		before := countForLoops(prog.Funcs[len(prog.Funcs)-1].Body)
+		Unroll(prog, 4)
+		after := countForLoops(prog.Funcs[len(prog.Funcs)-1].Body)
+		if before != after {
+			t.Errorf("ineligible loop was rewritten (%d -> %d) in %q", before, after, src)
+		}
+	}
+}
+
+func TestUnrollOnlyInnermost(t *testing.T) {
+	prog := mustParse(t, `
+global int m[64];
+func main() int {
+    int r;
+    int c;
+    int s = 0;
+    for (r = 0; r < 8; r = r + 1) {
+        for (c = 0; c < 8; c = c + 1) { s = s + m[r * 8 + c]; }
+    }
+    return s;
+}`)
+	Unroll(prog, 4)
+	// Outer loop intact; inner replaced by main+epilogue: 3 for loops.
+	if got := countForLoops(prog.Funcs[0].Body); got != 3 {
+		t.Fatalf("for-loop count after unroll = %d, want 3", got)
+	}
+}
+
+// Property: unrolling preserves semantics for trip counts 0..40 and
+// factors 2..6, on a kernel with loads, stores, and conditionals.
+func TestUnrollSemanticsQuick(t *testing.T) {
+	const tmpl = `
+global int buf[64];
+func main() int {
+    int i;
+    int s = 0;
+    for (i = 0; i < %TRIP%; i = i + 1) {
+        buf[i % 64] = i * 3;
+        if (i % 2 == 0) { s = s + buf[i % 64]; } else { s = s - i; }
+    }
+    return s + buf[7];
+}`
+	run := func(factor, trip int) int64 {
+		src := replaceAll(tmpl, "%TRIP%", itoa(trip))
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		Unroll(prog, factor)
+		info, err := Analyze(prog)
+		if err != nil {
+			t.Fatalf("sema: %v", err)
+		}
+		mod, err := Lower(info, "u")
+		if err != nil {
+			t.Fatalf("lower: %v", err)
+		}
+		return interpRun(t, mod)
+	}
+	if err := quick.Check(func(f8, t8 uint8) bool {
+		factor := 2 + int(f8)%5
+		trip := int(t8) % 41
+		return run(1, trip) == run(factor, trip)
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func replaceAll(s, old, new string) string {
+	out := ""
+	for {
+		idx := index(s, old)
+		if idx < 0 {
+			return out + s
+		}
+		out += s[:idx] + new
+		s = s[idx+len(old):]
+	}
+}
+
+func index(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	s := ""
+	for n > 0 {
+		s = string(rune('0'+n%10)) + s
+		n /= 10
+	}
+	return s
+}

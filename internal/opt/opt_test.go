@@ -1,0 +1,236 @@
+package opt
+
+import (
+	"testing"
+
+	"mcpart/internal/bench"
+	"mcpart/internal/interp"
+	"mcpart/internal/ir"
+	"mcpart/internal/mclang"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := mclang.Compile(src, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func run(t *testing.T, m *ir.Module) int64 {
+	t.Helper()
+	v, err := interp.New(m, interp.Options{}).RunMain()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v.I
+}
+
+func countOps(m *ir.Module) int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += f.NOps
+	}
+	return n
+}
+
+func TestConstantFolding(t *testing.T) {
+	m := compile(t, `func main() int { return (3 + 4) * 2 - 6 / 3; }`)
+	before := run(t, m)
+	s := Optimize(m)
+	if s.Folded == 0 {
+		t.Error("nothing folded")
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if after := run(t, m); after != before {
+		t.Fatalf("semantics changed: %d -> %d", before, after)
+	}
+	// The whole expression is constant; main should be tiny.
+	if n := m.Func("main").NOps; n > 2 {
+		t.Errorf("main still has %d ops after folding", n)
+	}
+}
+
+func TestDivByZeroNotFolded(t *testing.T) {
+	m := compile(t, `
+func main() int {
+    int guard = 0;
+    if (guard == 1) { return 1 / 0; }
+    return 7;
+}`)
+	Optimize(m)
+	if got := run(t, m); got != 7 {
+		t.Fatalf("got %d", got)
+	}
+	// The division must survive (unfolded) or be removed as dead — either
+	// way the program must not trap.
+}
+
+func TestCopyPropagationAndDCE(t *testing.T) {
+	m := ir.NewModule("t")
+	bd := ir.NewBuilder(m, "main", 0)
+	a := bd.Emit(ir.OpMov, ir.ConstInt(5))
+	bb := bd.Emit(ir.OpMov, ir.Reg(a))
+	c := bd.Emit(ir.OpAdd, ir.Reg(bb), ir.ConstInt(1))
+	bd.Emit(ir.OpMul, ir.Reg(a), ir.ConstInt(100)) // dead
+	bd.Ret(ir.Reg(c))
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	before := run(t, m)
+	s := Optimize(m)
+	if s.Propagated == 0 || s.Eliminated == 0 {
+		t.Errorf("stats = %+v; expected propagation and DCE", s)
+	}
+	if after := run(t, m); after != before || after != 6 {
+		t.Fatalf("got %d, want 6", after)
+	}
+	if m.Func("main").NOps > 2 {
+		t.Errorf("main still has %d ops", m.Func("main").NOps)
+	}
+}
+
+func TestCSERemovesRedundantLoads(t *testing.T) {
+	m := compile(t, `
+global int g[4];
+func main() int {
+    int a = g[1];
+    int b = g[1];
+    return a + b;
+}`)
+	countLoads := func() int {
+		n := 0
+		for _, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				for _, op := range b.Ops {
+					if op.Opcode == ir.OpLoad {
+						n++
+					}
+				}
+			}
+		}
+		return n
+	}
+	before := countLoads()
+	res := run(t, m)
+	s := Optimize(m)
+	if s.CSEd == 0 {
+		t.Error("no CSE performed (redundant load should merge)")
+	}
+	if countLoads() >= before {
+		t.Errorf("load count did not shrink: %d -> %d", before, countLoads())
+	}
+	if got := run(t, m); got != res {
+		t.Fatalf("semantics changed")
+	}
+}
+
+func TestCSERespectsStores(t *testing.T) {
+	m := compile(t, `
+global int g;
+func main() int {
+    int a = g;
+    g = a + 5;
+    int b = g;
+    return b;
+}`)
+	Optimize(m)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := run(t, m); got != 5 {
+		t.Fatalf("load CSE crossed a store: got %d, want 5", got)
+	}
+}
+
+func TestCSERespectsRedefinition(t *testing.T) {
+	// a+b computed, then a redefined, then a+b again: must not merge.
+	m := ir.NewModule("t")
+	bd := ir.NewBuilder(m, "main", 0)
+	a := bd.NewReg()
+	bd.EmitTo(a, ir.OpMov, ir.ConstInt(1))
+	b1 := bd.Emit(ir.OpAdd, ir.Reg(a), ir.ConstInt(10))
+	bd.EmitTo(a, ir.OpMov, ir.ConstInt(2))
+	b2 := bd.Emit(ir.OpAdd, ir.Reg(a), ir.ConstInt(10))
+	r := bd.Emit(ir.OpMul, ir.Reg(b1), ir.Reg(b2)) // 11 * 12
+	bd.Ret(ir.Reg(r))
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	Optimize(m)
+	if got := run(t, m); got != 132 {
+		t.Fatalf("got %d, want 132", got)
+	}
+}
+
+func TestCallsAndStoresSurviveDCE(t *testing.T) {
+	m := compile(t, `
+global int g;
+func bump() int { g = g + 1; return g; }
+func main() int {
+    bump();
+    bump();
+    return g;
+}`)
+	Optimize(m)
+	if got := run(t, m); got != 2 {
+		t.Fatalf("calls were eliminated: got %d, want 2", got)
+	}
+}
+
+func TestOpIDsDenseAfterOptimize(t *testing.T) {
+	m := compile(t, `
+global int t[8];
+func main() int {
+    int i;
+    int s = 0;
+    for (i = 0; i < 8; i = i + 1) { s = s + t[i] + 0 * 5; }
+    return s;
+}`)
+	Optimize(m)
+	for _, f := range m.Funcs {
+		ops := f.OpsByID()
+		for i, op := range ops {
+			if op == nil {
+				t.Fatalf("%s: op id %d missing after renumber", f.Name, i)
+			}
+		}
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The strongest guarantee: every bundled benchmark computes the same
+// checksum with and without optimization, and the optimizer shrinks them.
+func TestBenchmarksPreservedAndShrunk(t *testing.T) {
+	shrunk := 0
+	for _, b := range bench.All() {
+		m1, err := mclang.Compile(b.Source, b.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := mclang.Compile(b.Source, b.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Optimize(m2)
+		if err := ir.Verify(m2); err != nil {
+			t.Fatalf("%s: invalid IR after opt: %v", b.Name, err)
+		}
+		v1 := run(t, m1)
+		v2 := run(t, m2)
+		if v1 != v2 {
+			t.Errorf("%s: checksum changed %d -> %d", b.Name, v1, v2)
+		}
+		if countOps(m2) < countOps(m1) {
+			shrunk++
+		}
+	}
+	if shrunk < len(bench.All())/2 {
+		t.Errorf("optimizer shrank only %d of %d benchmarks", shrunk, len(bench.All()))
+	}
+}

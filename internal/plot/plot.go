@@ -1,0 +1,193 @@
+// Package plot renders the evaluation's figures as standalone SVG files
+// using only the standard library: grouped bar charts for the performance
+// figures (2, 7, 8, 10) and a shaded scatter for the exhaustive search
+// (Figure 9). The output is deliberately simple — axes, ticks, labels,
+// legend — and deterministic.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one bar group member (e.g. "GDP") with one value per label.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// palette holds fill colors for up to four series.
+var palette = []string{"#4878a8", "#e49444", "#59a14f", "#b0b0b0"}
+
+const (
+	width   = 900
+	height  = 420
+	marginL = 70
+	marginR = 20
+	marginT = 40
+	marginB = 110
+)
+
+func header(sb *strings.Builder, title string) {
+	fmt.Fprintf(sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(sb, `<text x="%d" y="24" font-size="16" text-anchor="middle">%s</text>`+"\n", width/2, esc(title))
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// BarChart renders grouped bars: one group per label, one bar per series.
+// yMax of 0 auto-scales; yLine, when nonzero, draws a reference line
+// (e.g. 100% of unified).
+func BarChart(title, yLabel string, labels []string, series []Series, yMax, yLine float64) string {
+	var sb strings.Builder
+	header(&sb, title)
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+
+	if yMax <= 0 {
+		for _, s := range series {
+			for _, v := range s.Values {
+				if v > yMax {
+					yMax = v
+				}
+			}
+		}
+		yMax *= 1.1
+	}
+	if yMax <= 0 {
+		yMax = 1
+	}
+	y := func(v float64) float64 {
+		return float64(marginT) + float64(plotH)*(1-v/yMax)
+	}
+
+	// Axes and ticks.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	for t := 0; t <= 5; t++ {
+		v := yMax * float64(t) / 5
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, y(v), marginL+plotW, y(v))
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%.0f</text>`+"\n",
+			marginL-6, y(v)+4, v)
+	}
+	fmt.Fprintf(&sb, `<text x="16" y="%d" font-size="12" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, esc(yLabel))
+
+	// Bars.
+	groupW := float64(plotW) / float64(len(labels))
+	barW := groupW * 0.8 / float64(len(series))
+	for gi, label := range labels {
+		gx := float64(marginL) + groupW*float64(gi) + groupW*0.1
+		for si, s := range series {
+			v := 0.0
+			if gi < len(s.Values) {
+				v = s.Values[gi]
+			}
+			bx := gx + barW*float64(si)
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				bx, y(v), barW, float64(marginT+plotH)-y(v), palette[si%len(palette)])
+		}
+		lx := gx + groupW*0.4
+		ly := marginT + plotH + 12
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-size="10" text-anchor="end" transform="rotate(-45 %.1f %d)">%s</text>`+"\n",
+			lx, ly, lx, ly, esc(label))
+	}
+	if yLine > 0 && yLine <= yMax {
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#c33" stroke-dasharray="5,4"/>`+"\n",
+			marginL, y(yLine), marginL+plotW, y(yLine))
+	}
+	// Legend.
+	lx := marginL + 10
+	for si, s := range series {
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n",
+			lx, marginT-14, palette[si%len(palette)])
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n",
+			lx+16, marginT-4, esc(s.Name))
+		lx += 24 + 9*len(s.Name)
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// Point is one scatter point: X (balance), Y (performance), Shade in
+// [0,1] (darker = more imbalanced, like the paper's Figure 9), and an
+// optional marker label.
+type Point struct {
+	X, Y  float64
+	Shade float64
+	Mark  string
+}
+
+// Scatter renders Figure 9: performance vs. data balance with shading.
+func Scatter(title, xLabel, yLabel string, pts []Point) string {
+	var sb strings.Builder
+	header(&sb, title)
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	if len(pts) == 0 || minX == maxX {
+		minX, maxX = 0, 1
+	}
+	if len(pts) == 0 || minY == maxY {
+		minY, maxY = 0, 1
+	}
+	padX := (maxX - minX) * 0.05
+	padY := (maxY - minY) * 0.05
+	minX, maxX = minX-padX, maxX+padX
+	minY, maxY = minY-padY, maxY+padY
+
+	xp := func(v float64) float64 {
+		return float64(marginL) + float64(plotW)*(v-minX)/(maxX-minX)
+	}
+	yp := func(v float64) float64 {
+		return float64(marginT) + float64(plotH)*(1-(v-minY)/(maxY-minY))
+	}
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	for t := 0; t <= 5; t++ {
+		vx := minX + (maxX-minX)*float64(t)/5
+		vy := minY + (maxY-minY)*float64(t)/5
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%.2f</text>`+"\n",
+			xp(vx), marginT+plotH+16, vx)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%.2f</text>`+"\n",
+			marginL-6, yp(vy)+4, vy)
+	}
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, marginT+plotH+40, esc(xLabel))
+	fmt.Fprintf(&sb, `<text x="16" y="%d" font-size="12" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, esc(yLabel))
+
+	for _, p := range pts {
+		g := int(230 * (1 - p.Shade))
+		fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="4" fill="rgb(%d,%d,%d)" stroke="#666"/>`+"\n",
+			xp(p.X), yp(p.Y), g, g, g)
+	}
+	// Marks drawn last so they stay visible.
+	for _, p := range pts {
+		if p.Mark == "" {
+			continue
+		}
+		fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="7" fill="none" stroke="#c33" stroke-width="2"/>`+"\n",
+			xp(p.X), yp(p.Y))
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="11" fill="#c33">%s</text>`+"\n",
+			xp(p.X)+9, yp(p.Y)-6, esc(p.Mark))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}

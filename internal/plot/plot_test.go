@@ -1,0 +1,60 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed XML: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	svg := BarChart("Figure 8a", "% of unified", []string{"rawcaudio", "fir & co"},
+		[]Series{
+			{Name: "GDP", Values: []float64{98.7, 99.0}},
+			{Name: "ProfileMax", Values: []float64{98.7, 92.4}},
+		}, 110, 100)
+	wellFormed(t, svg)
+	for _, want := range []string{"Figure 8a", "GDP", "ProfileMax", "rawcaudio",
+		"fir &amp; co", "<rect", "stroke-dasharray"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("bar chart missing %q", want)
+		}
+	}
+}
+
+func TestBarChartAutoScaleAndMissingValues(t *testing.T) {
+	svg := BarChart("t", "y", []string{"a", "b", "c"},
+		[]Series{{Name: "s", Values: []float64{1}}}, 0, 0)
+	wellFormed(t, svg)
+}
+
+func TestScatter(t *testing.T) {
+	svg := Scatter("Figure 9 (rawcaudio)", "imbalance", "perf vs worst", []Point{
+		{X: 0.0, Y: 1.07, Shade: 0.0, Mark: "GDP"},
+		{X: 1.0, Y: 1.08, Shade: 1.0},
+		{X: 0.5, Y: 1.00, Shade: 0.5, Mark: "PMax"},
+	})
+	wellFormed(t, svg)
+	for _, want := range []string{"Figure 9", "imbalance", "GDP", "PMax", "<circle"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("scatter missing %q", want)
+		}
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	wellFormed(t, Scatter("empty", "x", "y", nil))
+}

@@ -1,0 +1,411 @@
+// Package progen generates random—but always valid and terminating—mclang
+// programs for property-based testing of the whole pipeline: the front end
+// must compile them, the interpreter must run them without traps, the
+// optimizer and unroller must preserve their checksums, the points-to
+// analysis must stay sound on them, and every partitioning scheme must
+// produce valid results.
+//
+// Safety-by-construction rules: all loops are counted with constant bounds;
+// array subscripts are masked with `& (len-1)` over power-of-two lengths
+// (never negative, never out of bounds); divisors and remainder operands
+// are nonzero constants; calls only target previously generated functions
+// (no recursion); float/int conversions are explicit.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Options bounds the generated program.
+type Options struct {
+	MaxGlobals   int // default 6
+	MaxFuncs     int // default 4
+	MaxStmtDepth int // default 3
+	MaxLoopTrip  int // default 12
+}
+
+func (o Options) globals() int { return defInt(o.MaxGlobals, 6) }
+func (o Options) funcs() int   { return defInt(o.MaxFuncs, 4) }
+func (o Options) depth() int   { return defInt(o.MaxStmtDepth, 3) }
+func (o Options) trip() int    { return defInt(o.MaxLoopTrip, 12) }
+
+func defInt(v, d int) int {
+	if v <= 0 {
+		return d
+	}
+	return v
+}
+
+// Generate returns a deterministic random mclang program for the seed.
+func Generate(seed int64, opts Options) string {
+	g := &gen{
+		rng:       rand.New(rand.NewSource(seed)),
+		opts:      opts,
+		protected: map[string]bool{},
+	}
+	return g.program()
+}
+
+type global struct {
+	name    string
+	isFloat bool
+	length  int // power of two; 1 = scalar
+}
+
+type fn struct {
+	name    string
+	nparams int
+}
+
+type gen struct {
+	rng  *rand.Rand
+	opts Options
+	sb   strings.Builder
+
+	globals []global
+	funcs   []fn
+
+	// per-function state
+	intVars   []string
+	floatVars []string
+	ptrVars   []string
+	depth     int
+	tmp       int
+	callSites int
+	// protected marks induction variables of currently open loops, which
+	// must not be assigned (termination would be lost).
+	protected map[string]bool
+}
+
+func (g *gen) program() string {
+	ng := 2 + g.rng.Intn(g.opts.globals())
+	for i := 0; i < ng; i++ {
+		gl := global{
+			name:    fmt.Sprintf("g%d", i),
+			isFloat: g.rng.Intn(4) == 0,
+			length:  1 << uint(g.rng.Intn(6)), // 1..32
+		}
+		g.globals = append(g.globals, gl)
+		ty := "int"
+		if gl.isFloat {
+			ty = "float"
+		}
+		if gl.length == 1 {
+			fmt.Fprintf(&g.sb, "global %s %s;\n", ty, gl.name)
+		} else {
+			fmt.Fprintf(&g.sb, "global %s %s[%d]", ty, gl.name, gl.length)
+			if g.rng.Intn(2) == 0 {
+				g.sb.WriteString(" = {")
+				n := 1 + g.rng.Intn(gl.length)
+				for j := 0; j < n; j++ {
+					if j > 0 {
+						g.sb.WriteString(", ")
+					}
+					if gl.isFloat {
+						fmt.Fprintf(&g.sb, "%d.%d", g.rng.Intn(50)-25, g.rng.Intn(10))
+					} else {
+						fmt.Fprintf(&g.sb, "%d", g.rng.Intn(200)-100)
+					}
+				}
+				g.sb.WriteString("}")
+			}
+			g.sb.WriteString(";\n")
+		}
+	}
+	nf := 1 + g.rng.Intn(g.opts.funcs())
+	for i := 0; i < nf; i++ {
+		g.emitFunc(fmt.Sprintf("f%d", i))
+	}
+	g.emitMain()
+	return g.sb.String()
+}
+
+func (g *gen) emitFunc(name string) {
+	nparams := g.rng.Intn(3)
+	g.intVars, g.floatVars, g.ptrVars = nil, nil, nil
+	g.tmp = 0
+	g.callSites = 0
+	fmt.Fprintf(&g.sb, "func %s(", name)
+	for i := 0; i < nparams; i++ {
+		if i > 0 {
+			g.sb.WriteString(", ")
+		}
+		fmt.Fprintf(&g.sb, "int p%d", i)
+		g.intVars = append(g.intVars, fmt.Sprintf("p%d", i))
+	}
+	g.sb.WriteString(") int {\n")
+	g.emitBody(2 + g.rng.Intn(4))
+	fmt.Fprintf(&g.sb, "    return %s;\n}\n", g.intExpr(2))
+	// Register only after the body is emitted so no function can call
+	// itself (guaranteed termination).
+	g.funcs = append(g.funcs, fn{name: name, nparams: nparams})
+}
+
+func (g *gen) emitMain() {
+	g.intVars, g.floatVars, g.ptrVars = nil, nil, nil
+	g.tmp = 0
+	g.callSites = 0
+	g.sb.WriteString("func main() int {\n")
+	// A heap buffer to exercise malloc and pointers.
+	if g.rng.Intn(2) == 0 {
+		size := 8 << uint(g.rng.Intn(4)) // 8..64 words
+		fmt.Fprintf(&g.sb, "    int *h;\n    h = malloc(%d);\n", size*8)
+		fmt.Fprintf(&g.sb, "    h[0] = %d;\n", g.rng.Intn(100))
+		g.ptrVars = append(g.ptrVars, "h")
+	}
+	g.emitBody(3 + g.rng.Intn(4))
+	fmt.Fprintf(&g.sb, "    return (%s) %% 1000003;\n}\n", g.intExpr(2))
+}
+
+func (g *gen) emitBody(nstmts int) {
+	for i := 0; i < nstmts; i++ {
+		g.stmt()
+	}
+}
+
+// scoped runs fn and then forgets any variables it declared, matching
+// mclang's block scoping.
+func (g *gen) scoped(fn func()) {
+	ni, nf, np := len(g.intVars), len(g.floatVars), len(g.ptrVars)
+	fn()
+	g.intVars = g.intVars[:ni]
+	g.floatVars = g.floatVars[:nf]
+	g.ptrVars = g.ptrVars[:np]
+}
+
+func (g *gen) newIntVar() string {
+	v := fmt.Sprintf("t%d", g.tmp)
+	g.tmp++
+	fmt.Fprintf(&g.sb, "%sint %s = %s;\n", g.indent(), v, g.intExpr(1))
+	g.intVars = append(g.intVars, v)
+	return v
+}
+
+func (g *gen) indent() string { return strings.Repeat("    ", g.depth+1) }
+
+func (g *gen) stmt() {
+	switch r := g.rng.Intn(10); {
+	case r < 3: // declaration
+		if g.rng.Intn(4) == 0 {
+			v := fmt.Sprintf("t%d", g.tmp)
+			g.tmp++
+			fmt.Fprintf(&g.sb, "%sfloat %s = %s;\n", g.indent(), v, g.floatExpr(1))
+			g.floatVars = append(g.floatVars, v)
+		} else {
+			g.newIntVar()
+		}
+	case r < 6: // assignment
+		g.assign()
+	case r < 8 && g.depth < g.opts.depth(): // counted loop
+		iv := fmt.Sprintf("i%d", g.tmp)
+		g.tmp++
+		fmt.Fprintf(&g.sb, "%sint %s;\n", g.indent(), iv)
+		trip := 2 + g.rng.Intn(g.opts.trip())
+		step := 1 + g.rng.Intn(2)
+		fmt.Fprintf(&g.sb, "%sfor (%s = 0; %s < %d; %s = %s + %d) {\n",
+			g.indent(), iv, iv, trip, iv, iv, step)
+		g.intVars = append(g.intVars, iv)
+		g.protected[iv] = true
+		g.depth++
+		g.scoped(func() { g.emitBody(1 + g.rng.Intn(3)) })
+		g.depth--
+		delete(g.protected, iv)
+		// iv stays visible (declared outside the loop).
+		fmt.Fprintf(&g.sb, "%s}\n", g.indent())
+	case r < 9 && g.depth < g.opts.depth(): // if/else
+		fmt.Fprintf(&g.sb, "%sif (%s) {\n", g.indent(), g.condExpr())
+		g.depth++
+		g.scoped(func() { g.emitBody(1 + g.rng.Intn(2)) })
+		g.depth--
+		if g.rng.Intn(2) == 0 {
+			fmt.Fprintf(&g.sb, "%s} else {\n", g.indent())
+			g.depth++
+			g.scoped(func() { g.emitBody(1 + g.rng.Intn(2)) })
+			g.depth--
+		}
+		fmt.Fprintf(&g.sb, "%s}\n", g.indent())
+	default: // call for effect, when the cost stays bounded
+		if f, ok := g.pickCallee(); ok {
+			fmt.Fprintf(&g.sb, "%s%s;\n", g.indent(), g.callExpr(f))
+		} else {
+			g.assign()
+		}
+	}
+}
+
+// pickCallee bounds dynamic cost: at statement depth 0 any earlier
+// function may be called; at depth 1 only the first (cheapest-chain)
+// function; deeper calls are disallowed, so nested loops cannot multiply
+// whole call trees.
+func (g *gen) pickCallee() (fn, bool) {
+	if len(g.funcs) == 0 || g.callSites >= 2 {
+		return fn{}, false
+	}
+	switch g.depth {
+	case 0:
+		g.callSites++
+		return g.funcs[g.rng.Intn(len(g.funcs))], true
+	case 1:
+		// Inside one loop level only the first (cheapest) function may be
+		// called, keeping total dynamic cost linear in the function count.
+		g.callSites++
+		return g.funcs[0], true
+	}
+	return fn{}, false
+}
+
+func (g *gen) assign() {
+	// Choose a target: global scalar, global array slot, heap slot, or var.
+	switch r := g.rng.Intn(4); {
+	case r == 0 && len(g.intVars) > 0:
+		v := g.intVars[g.rng.Intn(len(g.intVars))]
+		if g.protected[v] {
+			g.assignGlobal()
+			return
+		}
+		fmt.Fprintf(&g.sb, "%s%s = %s;\n", g.indent(), v, g.intExpr(2))
+	case r == 1 && len(g.ptrVars) > 0:
+		p := g.ptrVars[g.rng.Intn(len(g.ptrVars))]
+		fmt.Fprintf(&g.sb, "%s%s[%s & 7] = %s;\n", g.indent(), p, g.intExpr(1), g.intExpr(2))
+	default:
+		g.assignGlobal()
+	}
+}
+
+func (g *gen) assignGlobal() {
+	{
+		gl := g.globals[g.rng.Intn(len(g.globals))]
+		if gl.isFloat {
+			if gl.length == 1 {
+				fmt.Fprintf(&g.sb, "%s%s = %s;\n", g.indent(), gl.name, g.floatExpr(2))
+			} else {
+				fmt.Fprintf(&g.sb, "%s%s[%s & %d] = %s;\n",
+					g.indent(), gl.name, g.intExpr(1), gl.length-1, g.floatExpr(2))
+			}
+			return
+		}
+		if gl.length == 1 {
+			fmt.Fprintf(&g.sb, "%s%s = %s;\n", g.indent(), gl.name, g.intExpr(2))
+		} else {
+			fmt.Fprintf(&g.sb, "%s%s[%s & %d] = %s;\n",
+				g.indent(), gl.name, g.intExpr(1), gl.length-1, g.intExpr(2))
+		}
+	}
+}
+
+func (g *gen) condExpr() string {
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	c := fmt.Sprintf("%s %s %s", g.intExpr(1), ops[g.rng.Intn(len(ops))], g.intExpr(1))
+	if g.rng.Intn(4) == 0 {
+		c = fmt.Sprintf("%s && %s %s %s", c, g.intExpr(0), ops[g.rng.Intn(len(ops))], g.intExpr(0))
+	}
+	return c
+}
+
+// intExpr generates an int-typed expression of bounded depth.
+func (g *gen) intExpr(depth int) string {
+	if depth <= 0 {
+		return g.intAtom()
+	}
+	switch g.rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.intExpr(depth-1), g.intExpr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.intExpr(depth-1), g.intExpr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.intExpr(depth-1), g.intAtom())
+	case 3:
+		return fmt.Sprintf("(%s / %d)", g.intExpr(depth-1), 1+g.rng.Intn(9))
+	case 4:
+		return fmt.Sprintf("(%s %% %d)", g.intExpr(depth-1), 2+g.rng.Intn(30))
+	case 5:
+		return fmt.Sprintf("(%s & %d)", g.intExpr(depth-1), g.rng.Intn(255))
+	case 6:
+		return fmt.Sprintf("(%s >> %d)", g.intExpr(depth-1), g.rng.Intn(5))
+	default:
+		if g.rng.Intn(3) == 0 && len(g.floatVars) > 0 {
+			return fmt.Sprintf("(int)(%s)", g.floatExpr(depth-1))
+		}
+		return fmt.Sprintf("(%s ^ %s)", g.intExpr(depth-1), g.intAtom())
+	}
+}
+
+func (g *gen) intAtom() string {
+	choices := g.rng.Intn(5)
+	switch {
+	case choices == 0 && len(g.intVars) > 0:
+		return g.intVars[g.rng.Intn(len(g.intVars))]
+	case choices == 1:
+		gl := g.pickGlobal(false)
+		if gl != nil {
+			if gl.length == 1 {
+				return gl.name
+			}
+			return fmt.Sprintf("%s[%s & %d]", gl.name, g.smallIndex(), gl.length-1)
+		}
+	case choices == 2 && len(g.ptrVars) > 0:
+		return fmt.Sprintf("%s[%s & 7]", g.ptrVars[g.rng.Intn(len(g.ptrVars))], g.smallIndex())
+	case choices == 3:
+		if f, ok := g.pickCallee(); ok {
+			return g.callExpr(f)
+		}
+	}
+	return fmt.Sprintf("%d", g.rng.Intn(200)-100)
+}
+
+func (g *gen) smallIndex() string {
+	if len(g.intVars) > 0 && g.rng.Intn(2) == 0 {
+		return g.intVars[g.rng.Intn(len(g.intVars))]
+	}
+	return fmt.Sprintf("%d", g.rng.Intn(32))
+}
+
+func (g *gen) callExpr(f fn) string {
+	args := make([]string, f.nparams)
+	for i := range args {
+		args[i] = g.intExpr(0)
+	}
+	return fmt.Sprintf("%s(%s)", f.name, strings.Join(args, ", "))
+}
+
+func (g *gen) floatExpr(depth int) string {
+	if depth <= 0 {
+		return g.floatAtom()
+	}
+	ops := []string{"+", "-", "*"}
+	return fmt.Sprintf("(%s %s %s)", g.floatExpr(depth-1), ops[g.rng.Intn(len(ops))], g.floatAtom())
+}
+
+func (g *gen) floatAtom() string {
+	switch g.rng.Intn(4) {
+	case 0:
+		if len(g.floatVars) > 0 {
+			return g.floatVars[g.rng.Intn(len(g.floatVars))]
+		}
+	case 1:
+		gl := g.pickGlobal(true)
+		if gl != nil {
+			if gl.length == 1 {
+				return gl.name
+			}
+			return fmt.Sprintf("%s[%s & %d]", gl.name, g.smallIndex(), gl.length-1)
+		}
+	case 2:
+		return fmt.Sprintf("(float)(%s)", g.intAtom())
+	}
+	return fmt.Sprintf("%d.%d", g.rng.Intn(20)-10, g.rng.Intn(10))
+}
+
+// pickGlobal returns a random global of the requested elem type, or nil.
+func (g *gen) pickGlobal(isFloat bool) *global {
+	start := g.rng.Intn(len(g.globals))
+	for i := 0; i < len(g.globals); i++ {
+		gl := &g.globals[(start+i)%len(g.globals)]
+		if gl.isFloat == isFloat {
+			return gl
+		}
+	}
+	return nil
+}

@@ -1,0 +1,635 @@
+// Package rhop implements the Region-based Hierarchical Operation
+// Partitioning computation partitioner (Chu, Fan & Mahlke, PLDI'03), in the
+// enhanced form this paper's §3.4 uses: memory operations may be locked to
+// the home cluster of the data object they access, and the partitioner then
+// distributes all remaining operations around those locked anchors using
+// schedule-length estimates.
+//
+// Structure per region (an innermost loop body or a singleton block):
+//
+//  1. build an operation graph whose edge weights derive from dependence
+//     slack (low slack = critical = heavy edge) scaled by profile
+//     frequency, with locked operations and live-in values as fixed
+//     anchors;
+//  2. obtain an initial assignment from the multilevel min-cut partitioner
+//     (internal/partition), which performs the coarsen/uncoarsen phases;
+//  3. refine with estimate-driven local moves: an operation migrates to
+//     another cluster when the region's estimated profile-weighted
+//     schedule length strictly improves. The estimate combines the
+//     resource bound, the intercluster-bus bound, and the critical path
+//     with move latencies — the same ingredients as RHOP's schedule
+//     estimator.
+package rhop
+
+import (
+	"fmt"
+	"sort"
+
+	"mcpart/internal/cfg"
+	"mcpart/internal/interp"
+	"mcpart/internal/ir"
+	"mcpart/internal/machine"
+	"mcpart/internal/partition"
+	"mcpart/internal/sched"
+)
+
+// Locks maps op IDs (within one function) to the cluster the op must run
+// on. Memory operations get locked to their object's home cluster by the
+// data-partitioning schemes; an empty map reproduces unified-memory RHOP.
+type Locks map[int]int
+
+// Options tunes the partitioner.
+type Options struct {
+	// RefinePasses bounds estimate-driven refinement sweeps per region
+	// (default 4).
+	RefinePasses int
+	// BalanceTol is the initial partition's op-count imbalance tolerance
+	// (default 0.4; refinement rebalances by estimate afterwards).
+	BalanceTol float64
+	// UniformEdges disables slack weighting (ablation: every dependence
+	// edge gets the same base weight).
+	UniformEdges bool
+	// PairRefine adds a group-refinement phase that moves heavy-edge op
+	// pairs together, as RHOP's multilevel uncoarsening does at its
+	// coarser levels; single-op moves sometimes cannot escape the local
+	// minima pair moves can.
+	PairRefine bool
+}
+
+func (o Options) passes() int {
+	if o.RefinePasses <= 0 {
+		return 4
+	}
+	return o.RefinePasses
+}
+
+func (o Options) tol() float64 {
+	if o.BalanceTol <= 0 {
+		return 0.4
+	}
+	return o.BalanceTol
+}
+
+// PartitionFunc assigns every op of f to a cluster. prof supplies block
+// frequencies (nil-safe: missing blocks count as frequency 1 so cold code
+// still partitions sensibly).
+func PartitionFunc(f *ir.Func, prof *interp.Profile, mcfg *machine.Config, locks Locks, opts Options) ([]int, error) {
+	k := mcfg.NumClusters()
+	asg := make([]int, f.NOps)
+	for i := range asg {
+		asg[i] = -1
+	}
+	for id, c := range locks {
+		if c < 0 || c >= k {
+			return nil, fmt.Errorf("rhop: %s op %d locked to cluster %d of %d", f.Name, id, c, k)
+		}
+	}
+	du := cfg.ComputeDefUse(f)
+	ops := f.OpsByID()
+	lc := sched.NewLoopCtx(f)
+	regions := cfg.FormRegions(f)
+	// Partition the hottest regions first: inner loops choose their layout
+	// freely and colder surrounding code anchors to those decisions, not
+	// the other way around.
+	order := make([]*cfg.Region, len(regions))
+	copy(order, regions)
+	sort.SliceStable(order, func(i, j int) bool {
+		return regionHeat(prof, order[i]) > regionHeat(prof, order[j])
+	})
+	for _, region := range order {
+		if err := partitionRegion(f, region, du, ops, lc, prof, mcfg, locks, opts, asg); err != nil {
+			return nil, err
+		}
+	}
+	for id, c := range asg {
+		if c < 0 {
+			return nil, fmt.Errorf("rhop: %s op %d left unassigned", f.Name, id)
+		}
+	}
+	return asg, nil
+}
+
+// PartitionModule partitions every function of m. locks may be nil or miss
+// functions (treated as unlocked).
+func PartitionModule(m *ir.Module, prof *interp.Profile, mcfg *machine.Config, locks map[*ir.Func]Locks, opts Options) (map[*ir.Func][]int, error) {
+	out := make(map[*ir.Func][]int, len(m.Funcs))
+	for _, f := range m.Funcs {
+		var l Locks
+		if locks != nil {
+			l = locks[f]
+		}
+		asg, err := PartitionFunc(f, prof, mcfg, l, opts)
+		if err != nil {
+			return nil, err
+		}
+		out[f] = asg
+	}
+	return out, nil
+}
+
+// regionHeat is the hottest block frequency within a region.
+func regionHeat(prof *interp.Profile, r *cfg.Region) int64 {
+	var h int64
+	for _, b := range r.Blocks {
+		if fq := blockFreq(prof, b); fq > h {
+			h = fq
+		}
+	}
+	return h
+}
+
+// blockFreq returns the profile frequency of b, treating unexecuted blocks
+// as frequency 1 so static code still partitions deterministically.
+func blockFreq(prof *interp.Profile, b *ir.Block) int64 {
+	if prof == nil {
+		return 1
+	}
+	if fq := prof.Freq(b); fq > 0 {
+		return fq
+	}
+	return 1
+}
+
+func partitionRegion(f *ir.Func, region *cfg.Region, du *cfg.DefUse, ops []*ir.Op,
+	lc *sched.LoopCtx, prof *interp.Profile, mcfg *machine.Config, locks Locks, opts Options, asg []int) error {
+
+	k := mcfg.NumClusters()
+	inRegion := map[int]bool{}
+	var regionOps []*ir.Op
+	for _, b := range region.Blocks {
+		for _, op := range b.Ops {
+			inRegion[op.ID] = true
+			regionOps = append(regionOps, op)
+		}
+	}
+	if len(regionOps) == 0 {
+		return nil
+	}
+
+	// Graph nodes: region ops, then one anchor per live-in value with a
+	// known home cluster.
+	idx := make(map[int]int, len(regionOps)) // op ID -> node
+	for i, op := range regionOps {
+		idx[op.ID] = i
+	}
+	type anchor struct {
+		home int
+	}
+	anchorIdx := map[int]int{} // defining op ID outside region -> node
+	var anchors []anchor
+
+	slack := computeSlack(region, du, ops, mcfg)
+	maxSlack := int64(1)
+	for _, s := range slack {
+		if s > maxSlack {
+			maxSlack = s
+		}
+	}
+
+	type edge struct {
+		u, v int
+		w    int64
+	}
+	var edges []edge
+	addAnchor := func(key, home, node int, w int64) {
+		ai, ok := anchorIdx[key]
+		if !ok {
+			ai = len(regionOps) + len(anchors)
+			anchorIdx[key] = ai
+			anchors = append(anchors, anchor{home: home})
+		}
+		edges = append(edges, edge{u: ai, v: node, w: w})
+	}
+	for _, op := range regionOps {
+		u := idx[op.ID]
+		freq := blockFreq(prof, op.Block)
+		for argI := range op.Args {
+			for _, defID := range du.DefsOf[op.ID][argI] {
+				w := int64(1)
+				if !opts.UniformEdges {
+					w = maxSlack + 1 - slack[edgeKey{defID, op.ID}]
+					if w < 1 {
+						w = 1
+					}
+				}
+				w *= scaleFreq(freq)
+				if inRegion[defID] {
+					edges = append(edges, edge{u: idx[defID], v: u, w: w})
+					continue
+				}
+				// Live-in from an already-partitioned def: anchor it.
+				if home := asg[defID]; home >= 0 {
+					addAnchor(defID, home, u, w)
+				}
+			}
+		}
+		// Live-out consumers already placed in other regions anchor this
+		// op's definition from the use side.
+		if op.Dst != ir.NoReg {
+			for _, useID := range du.UsesOf[op.ID] {
+				if inRegion[useID] {
+					continue
+				}
+				if home := asg[useID]; home >= 0 {
+					w := scaleFreq(blockFreq(prof, ops[useID].Block))
+					addAnchor(^useID, home, u, w)
+				}
+			}
+		}
+	}
+
+	g := partition.NewGraph(len(regionOps)+len(anchors), 1)
+	for i, op := range regionOps {
+		g.W[i][0] = scaleFreq(blockFreq(prof, op.Block))
+		if c, ok := locks[op.ID]; ok {
+			g.Fixed[i] = c
+		}
+	}
+	for i, a := range anchors {
+		g.Fixed[len(regionOps)+i] = a.home
+	}
+	for _, e := range edges {
+		g.Connect(e.u, e.v, e.w)
+	}
+
+	part, err := partition.KWay(g, k, partition.Options{Tol: []float64{opts.tol()}})
+	if err != nil {
+		return err
+	}
+
+	// Candidate 1: the min-cut partition, refined by schedule estimates.
+	apply := func(choice func(i int, op *ir.Op) int) {
+		for i, op := range regionOps {
+			if c, ok := locks[op.ID]; ok {
+				asg[op.ID] = c
+			} else {
+				asg[op.ID] = choice(i, op)
+			}
+		}
+	}
+	var best map[int]int
+	bestCost := int64(-1)
+	consider := func() {
+		if cost := realRegionCost(f, region, lc, prof, mcfg, asg); bestCost < 0 || cost < bestCost {
+			best = snapshotRegion(regionOps, asg)
+			bestCost = cost
+		}
+	}
+	apply(func(i int, op *ir.Op) int { return part[i] })
+	consider()
+	refineRegion(f, region, lc, prof, mcfg, locks, opts, asg)
+	if opts.PairRefine {
+		pairRefineRegion(f, region, du, lc, prof, mcfg, locks, opts, asg)
+	}
+	consider()
+
+	// Candidates 2..k+1: everything (unlocked) on a single cluster, then
+	// refined. This lets the partitioner collapse regions whose dependence
+	// structure makes splitting a net loss at high move latencies — the
+	// situation the paper's Figure 2 highlights — which purely local moves
+	// cannot reach from a split starting point.
+	for c := 0; c < k; c++ {
+		feasible := true
+		for _, op := range regionOps {
+			if mcfg.Units(c, machine.KindOf(op.Opcode)) == 0 {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		apply(func(int, *ir.Op) int { return c })
+		consider() // the pure single-cluster layout, before refinement
+		refineRegion(f, region, lc, prof, mcfg, locks, opts, asg)
+		consider()
+	}
+	for _, op := range regionOps {
+		asg[op.ID] = best[op.ID]
+	}
+	return nil
+}
+
+// realRegionCost scores a candidate with the actual list scheduler (the
+// estimate guides the inner refinement loop; the final choice between
+// refined candidates uses real schedule lengths so estimate error cannot
+// pick a partition the machine executes badly).
+func realRegionCost(f *ir.Func, region *cfg.Region, lc *sched.LoopCtx, prof *interp.Profile,
+	mcfg *machine.Config, asg []int) int64 {
+
+	home := sched.HomeClustersFreq(f, asg, mcfg.NumClusters(), func(b *ir.Block) int64 {
+		return blockFreq(prof, b)
+	})
+	var total int64
+	for _, b := range region.Blocks {
+		res, _ := sched.ScheduleBlockCtx(b, asg, home, lc, mcfg)
+		total += blockFreq(prof, b) * int64(res.Length)
+	}
+	return total
+}
+
+func snapshotRegion(regionOps []*ir.Op, asg []int) map[int]int {
+	snap := make(map[int]int, len(regionOps))
+	for _, op := range regionOps {
+		snap[op.ID] = asg[op.ID]
+	}
+	return snap
+}
+
+// scaleFreq compresses profile frequencies so hot blocks dominate without
+// overflowing edge weights.
+func scaleFreq(freq int64) int64 {
+	w := int64(1)
+	for freq > 1 {
+		freq >>= 1
+		w++
+	}
+	return w
+}
+
+type edgeKey struct{ def, use int }
+
+// computeSlack returns per dependence edge (def, use) within the region the
+// scheduling slack of that edge: how much the use could be delayed without
+// stretching its block's critical path. Cross-block edges get the maximum
+// observed slack (they are fed through registers and rarely critical).
+func computeSlack(region *cfg.Region, du *cfg.DefUse, ops []*ir.Op, mcfg *machine.Config) map[edgeKey]int64 {
+	slack := map[edgeKey]int64{}
+	var crossEdges []edgeKey
+	var maxSlack int64
+	for _, b := range region.Blocks {
+		// ASAP within block.
+		asap := map[int]int64{}
+		var blockLen int64
+		for _, op := range b.Ops {
+			var start int64
+			for argI := range op.Args {
+				for _, defID := range du.DefsOf[op.ID][argI] {
+					if ops[defID].Block == b {
+						if t := asap[defID] + int64(machine.Latency(ops[defID].Opcode)); t > start {
+							start = t
+						}
+					}
+				}
+			}
+			asap[op.ID] = start
+			if end := start + int64(machine.Latency(op.Opcode)); end > blockLen {
+				blockLen = end
+			}
+		}
+		// ALAP within block (walk ops backwards).
+		alap := map[int]int64{}
+		for i := len(b.Ops) - 1; i >= 0; i-- {
+			op := b.Ops[i]
+			latest := blockLen - int64(machine.Latency(op.Opcode))
+			for _, useID := range du.UsesOf[op.ID] {
+				if ops[useID].Block == b {
+					if t := alap[useID] - int64(machine.Latency(op.Opcode)); t < latest {
+						latest = t
+					}
+				}
+			}
+			alap[op.ID] = latest
+		}
+		for _, op := range b.Ops {
+			for argI := range op.Args {
+				for _, defID := range du.DefsOf[op.ID][argI] {
+					key := edgeKey{defID, op.ID}
+					if ops[defID].Block == b {
+						s := alap[op.ID] - (asap[defID] + int64(machine.Latency(ops[defID].Opcode)))
+						if s < 0 {
+							s = 0
+						}
+						slack[key] = s
+						if s > maxSlack {
+							maxSlack = s
+						}
+					} else {
+						crossEdges = append(crossEdges, key)
+					}
+				}
+			}
+		}
+	}
+	for _, key := range crossEdges {
+		slack[key] = maxSlack
+	}
+	return slack
+}
+
+// refineRegion performs estimate-driven local moves: each pass visits the
+// region's unlocked ops in deterministic order and migrates an op to the
+// cluster minimizing the region's estimated cost, keeping strict
+// improvements only.
+func refineRegion(f *ir.Func, region *cfg.Region, lc *sched.LoopCtx, prof *interp.Profile,
+	mcfg *machine.Config, locks Locks, opts Options, asg []int) {
+
+	k := mcfg.NumClusters()
+	var regionOps []*ir.Op
+	for _, b := range region.Blocks {
+		for _, op := range b.Ops {
+			if _, locked := locks[op.ID]; !locked {
+				regionOps = append(regionOps, op)
+			}
+		}
+	}
+	sort.Slice(regionOps, func(i, j int) bool { return regionOps[i].ID < regionOps[j].ID })
+
+	cost := func() int64 { return estimateRegionCost(f, region, lc, prof, mcfg, asg) }
+	cur := cost()
+	for pass := 0; pass < opts.passes(); pass++ {
+		improved := false
+		for _, op := range regionOps {
+			orig := asg[op.ID]
+			bestC, bestCost := orig, cur
+			for c := 0; c < k; c++ {
+				if c == orig {
+					continue
+				}
+				if mcfg.Units(c, machine.KindOf(op.Opcode)) == 0 {
+					continue
+				}
+				asg[op.ID] = c
+				if nc := cost(); nc < bestCost {
+					bestC, bestCost = c, nc
+				}
+			}
+			asg[op.ID] = bestC
+			if bestC != orig {
+				cur = bestCost
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// pairRefineRegion moves pairs of ops joined by their heaviest dependence
+// edge between clusters together, accepting strict estimate improvements.
+// This emulates a coarser level of RHOP's uncoarsening hierarchy.
+func pairRefineRegion(f *ir.Func, region *cfg.Region, du *cfg.DefUse, lc *sched.LoopCtx,
+	prof *interp.Profile, mcfg *machine.Config, locks Locks, opts Options, asg []int) {
+
+	k := mcfg.NumClusters()
+	inRegion := map[int]bool{}
+	for _, b := range region.Blocks {
+		for _, op := range b.Ops {
+			inRegion[op.ID] = true
+		}
+	}
+	// Heaviest-neighbor matching over unlocked region ops.
+	type pair struct{ a, b int }
+	var pairs []pair
+	matched := map[int]bool{}
+	for _, b := range region.Blocks {
+		for _, op := range b.Ops {
+			if matched[op.ID] {
+				continue
+			}
+			if _, locked := locks[op.ID]; locked {
+				continue
+			}
+			for argI := range op.Args {
+				for _, defID := range du.DefsOf[op.ID][argI] {
+					if !inRegion[defID] || matched[defID] {
+						continue
+					}
+					if _, locked := locks[defID]; locked {
+						continue
+					}
+					pairs = append(pairs, pair{defID, op.ID})
+					matched[defID], matched[op.ID] = true, true
+					break
+				}
+				if matched[op.ID] {
+					break
+				}
+			}
+		}
+	}
+	cur := estimateRegionCost(f, region, lc, prof, mcfg, asg)
+	for pass := 0; pass < 2; pass++ {
+		improved := false
+		for _, pr := range pairs {
+			origA, origB := asg[pr.a], asg[pr.b]
+			bestA, bestB, bestCost := origA, origB, cur
+			for c := 0; c < k; c++ {
+				if c == origA && c == origB {
+					continue
+				}
+				asg[pr.a], asg[pr.b] = c, c
+				if nc := estimateRegionCost(f, region, lc, prof, mcfg, asg); nc < bestCost {
+					bestA, bestB, bestCost = c, c, nc
+				}
+			}
+			asg[pr.a], asg[pr.b] = bestA, bestB
+			if bestA != origA || bestB != origB {
+				cur = bestCost
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// EstimateRegionCost estimates the profile-weighted cycle contribution of a
+// region under assignment asg without running the full list scheduler: per
+// block, the maximum of the per-cluster resource bound, the intercluster
+// bus bound, and the dependence-critical path including move latencies.
+func EstimateRegionCost(f *ir.Func, region *cfg.Region, prof *interp.Profile,
+	mcfg *machine.Config, asg []int) int64 {
+	return estimateRegionCost(f, region, sched.NewLoopCtx(f), prof, mcfg, asg)
+}
+
+func estimateRegionCost(f *ir.Func, region *cfg.Region, lc *sched.LoopCtx, prof *interp.Profile,
+	mcfg *machine.Config, asg []int) int64 {
+
+	home := sched.HomeClustersFreq(f, asg, mcfg.NumClusters(), func(b *ir.Block) int64 {
+		return blockFreq(prof, b)
+	})
+	var total int64
+	for _, b := range region.Blocks {
+		total += blockFreq(prof, b) * EstimateBlockLen(b, asg, home, lc, mcfg)
+	}
+	return total
+}
+
+// EstimateBlockLen is the schedule-length estimate for one block. It tracks
+// the list scheduler's three limiting factors but ignores second-order
+// interactions, which keeps refinement fast.
+func EstimateBlockLen(b *ir.Block, asg []int, home []int, lc *sched.LoopCtx, mcfg *machine.Config) int64 {
+	k := mcfg.NumClusters()
+	// Resource bound.
+	counts := make([][]int, k)
+	for c := range counts {
+		counts[c] = make([]int, machine.NumFUKinds)
+	}
+	moves := map[[2]int]int{} // (def op ID or ^reg, to cluster) -> source cluster
+	lastDef := map[ir.VReg]int{}
+	ready := map[int]int64{} // op ID -> completion time estimate
+	var length int64 = 1
+	for _, op := range b.Ops {
+		c := asg[op.ID]
+		counts[c][machine.KindOf(op.Opcode)]++
+		var start int64
+		for _, a := range op.Args {
+			if !a.IsReg() {
+				continue
+			}
+			if d, ok := lastDef[a.Reg]; ok {
+				t := ready[d]
+				if asg[d] != c {
+					moves[[2]int{d, c}] = asg[d]
+					t += int64(mcfg.MoveLat(asg[d], c))
+				}
+				if t > start {
+					start = t
+				}
+			} else if int(a.Reg) < len(home) {
+				if hc := home[a.Reg]; hc != sched.EverywhereHome && hc != c &&
+					!(lc != nil && lc.FreeLiveIn(b, a.Reg)) {
+					moves[[2]int{^int(a.Reg), c}] = hc
+					if t := int64(mcfg.MoveLat(hc, c)); t > start {
+						start = t
+					}
+				}
+			}
+		}
+		done := start + int64(machine.Latency(op.Opcode))
+		ready[op.ID] = done
+		if done > length {
+			length = done
+		}
+		if op.Dst != ir.NoReg {
+			lastDef[op.Dst] = op.ID
+		}
+	}
+	// Moves occupy an integer-unit issue slot on their sending cluster.
+	for _, src := range moves {
+		counts[src][machine.FUInt]++
+	}
+	for c := 0; c < k; c++ {
+		for kind := machine.FUKind(0); kind < machine.NumFUKinds; kind++ {
+			if counts[c][kind] == 0 {
+				continue
+			}
+			units := mcfg.Units(c, kind)
+			if units == 0 {
+				units = 1
+			}
+			if rb := int64((counts[c][kind] + units - 1) / units); rb > length {
+				length = rb
+			}
+		}
+	}
+	if n := len(moves); n > 0 {
+		if bb := int64((n+mcfg.MoveBandwidth-1)/mcfg.MoveBandwidth) + int64(mcfg.MoveLatency); bb > length {
+			length = bb
+		}
+	}
+	return length
+}

@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mcpart/internal/ir"
+	"mcpart/internal/machine"
+)
+
+// Slot is one issued operation in a concrete schedule: which cycle, which
+// cluster, which function unit kind, and what it is.
+type Slot struct {
+	Cycle   int
+	Cluster int
+	Kind    machine.FUKind
+	Op      *ir.Op // nil for intercluster moves
+	IsMove  bool
+}
+
+// BlockSchedule is a fully materialized block schedule for inspection.
+type BlockSchedule struct {
+	Block  *ir.Block
+	Length int
+	Slots  []Slot
+}
+
+// MaterializeBlock runs the list scheduler and returns the full schedule
+// (ScheduleBlock returns only the summary).
+func MaterializeBlock(b *ir.Block, asg []int, home []int, lc *LoopCtx, cfg *machine.Config) *BlockSchedule {
+	nodes, _ := buildNodes(b, asg, home, lc, cfg)
+	bs := &BlockSchedule{Block: b, Length: 1}
+	if len(nodes) == 0 {
+		return bs
+	}
+	bs.Length = listSchedule(nodes, cfg)
+	for _, n := range nodes {
+		bs.Slots = append(bs.Slots, Slot{
+			Cycle:   n.start,
+			Cluster: n.cluster,
+			Kind:    n.kind,
+			Op:      n.op,
+			IsMove:  n.isMove,
+		})
+	}
+	sort.SliceStable(bs.Slots, func(i, j int) bool {
+		if bs.Slots[i].Cycle != bs.Slots[j].Cycle {
+			return bs.Slots[i].Cycle < bs.Slots[j].Cycle
+		}
+		return bs.Slots[i].Cluster < bs.Slots[j].Cluster
+	})
+	return bs
+}
+
+// Format renders the schedule as a VLIW-style table, one row per cycle and
+// one column per cluster, with each issued op in its slot.
+func (bs *BlockSchedule) Format(cfg *machine.Config) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "block b%d: %d cycles, %d issues\n", bs.Block.ID, bs.Length, len(bs.Slots))
+	byCycle := map[int][]Slot{}
+	for _, s := range bs.Slots {
+		byCycle[s.Cycle] = append(byCycle[s.Cycle], s)
+	}
+	for cyc := 0; cyc < bs.Length; cyc++ {
+		slots := byCycle[cyc]
+		if len(slots) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "%4d |", cyc)
+		for c := 0; c < cfg.NumClusters(); c++ {
+			var cell []string
+			for _, s := range slots {
+				if s.Cluster != c {
+					continue
+				}
+				if s.IsMove {
+					cell = append(cell, "move>")
+				} else {
+					cell = append(cell, s.Op.Opcode.String())
+				}
+			}
+			fmt.Fprintf(&sb, " %-28s |", strings.Join(cell, " "))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// FormatFunc materializes and renders every block of a function under asg.
+func FormatFunc(f *ir.Func, asg []int, cfg *machine.Config) string {
+	home := HomeClusters(f, asg, cfg.NumClusters())
+	lc := NewLoopCtx(f)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "schedule of %s on %s\n", f.Name, cfg.Name)
+	for _, b := range f.Blocks {
+		sb.WriteString(MaterializeBlock(b, asg, home, lc, cfg).Format(cfg))
+	}
+	return sb.String()
+}

@@ -1,0 +1,452 @@
+// Package sched provides the cluster-aware VLIW list scheduler that turns a
+// computation partition into cycle counts. Given an assignment of every
+// operation to a cluster, it materializes the intercluster move operations a
+// clustered machine requires (one move per value per destination cluster,
+// i.e. moves are reused by multiple consumers), applies the machine's
+// function-unit and bus bandwidth limits, and list-schedules each basic
+// block. Whole-program cycles are the profile-weighted sum of block
+// schedule lengths, mirroring the paper's 100%-hit-rate scratchpad model.
+package sched
+
+import (
+	"sort"
+
+	"mcpart/internal/interp"
+	"mcpart/internal/ir"
+	"mcpart/internal/machine"
+)
+
+// EverywhereHome marks a value as available on every cluster at block entry
+// (used for function parameters, whose transfer the model does not charge).
+const EverywhereHome = -1
+
+// HomeClusters computes, per virtual register of f, the cluster a value
+// lives on at block boundaries: the dominant cluster among the register's
+// defining operations, weighted by execution frequency when freq is
+// non-nil (a hot in-loop definition outweighs a one-time initialization;
+// ties go to the lower cluster index). Registers with no defs (parameters)
+// are available everywhere.
+func HomeClusters(f *ir.Func, asg []int, numClusters int) []int {
+	return HomeClustersFreq(f, asg, numClusters, nil)
+}
+
+// HomeClustersFreq is HomeClusters with frequency-weighted defs.
+func HomeClustersFreq(f *ir.Func, asg []int, numClusters int, freq func(*ir.Block) int64) []int {
+	counts := make([][]int64, f.NRegs)
+	for _, b := range f.Blocks {
+		w := int64(1)
+		if freq != nil {
+			if fq := freq(b); fq > 1 {
+				w = fq
+			}
+		}
+		for _, op := range b.Ops {
+			if op.Dst == ir.NoReg || asg[op.ID] < 0 {
+				// Unassigned defs (regions not yet partitioned) contribute
+				// no home; such values count as available everywhere.
+				continue
+			}
+			if counts[op.Dst] == nil {
+				counts[op.Dst] = make([]int64, numClusters)
+			}
+			counts[op.Dst][asg[op.ID]] += w
+		}
+	}
+	home := make([]int, f.NRegs)
+	for r := range home {
+		home[r] = EverywhereHome
+		var best int64
+		for c, n := range counts[r] {
+			if n > best {
+				best = n
+				home[r] = c
+			}
+		}
+	}
+	return home
+}
+
+// BlockResult is the outcome of scheduling one basic block.
+type BlockResult struct {
+	Length int // schedule length in cycles
+	Moves  int // intercluster move operations inserted
+}
+
+// node is a schedulable item: a real op or a synthesized intercluster move.
+type node struct {
+	op      *ir.Op // nil for moves
+	cluster int
+	kind    machine.FUKind
+	lat     int
+	isMove  bool
+	preds   []dep
+	prio    int64
+	nsuccs  int
+	start   int
+}
+
+type dep struct {
+	from int // node index
+	lat  int
+}
+
+// ScheduleBlock schedules block b under assignment asg (op ID -> cluster
+// for b's function), with home giving the block-entry cluster of live-in
+// registers (EverywhereHome when free). It returns the schedule length and
+// the number of moves inserted.
+func ScheduleBlock(b *ir.Block, asg []int, home []int, cfg *machine.Config) BlockResult {
+	res, _ := ScheduleBlockCtx(b, asg, home, nil, cfg)
+	return res
+}
+
+// ScheduleBlockCtx is ScheduleBlock with loop-invariant hoisting: live-in
+// values that are invariant in b's innermost loop are assumed delivered at
+// loop entry (the returned HoistedMoves) instead of re-sent every
+// iteration. A nil LoopCtx disables hoisting.
+func ScheduleBlockCtx(b *ir.Block, asg []int, home []int, lc *LoopCtx, cfg *machine.Config) (BlockResult, []HoistedMove) {
+	for _, op := range b.Ops {
+		c := asg[op.ID]
+		if k := machine.KindOf(op.Opcode); cfg.Units(c, k) == 0 {
+			panic("sched: op assigned to cluster " +
+				k.String() + " with zero units of its kind")
+		}
+	}
+	nodes, hoisted := buildNodes(b, asg, home, lc, cfg)
+	if len(nodes) == 0 {
+		return BlockResult{Length: 1}, hoisted
+	}
+	length := listSchedule(nodes, cfg)
+	moves := 0
+	for _, n := range nodes {
+		if n.isMove {
+			moves++
+		}
+	}
+	return BlockResult{Length: length, Moves: moves}, hoisted
+}
+
+func buildNodes(b *ir.Block, asg []int, home []int, lc *LoopCtx, cfg *machine.Config) ([]*node, []HoistedMove) {
+	var hoisted []HoistedMove
+	hoistSeen := map[[2]int]bool{}
+	var nodes []*node
+	idxOf := make(map[*ir.Op]int, len(b.Ops))
+	for _, op := range b.Ops {
+		idxOf[op] = len(nodes)
+		nodes = append(nodes, &node{
+			op:      op,
+			cluster: asg[op.ID],
+			kind:    machine.KindOf(op.Opcode),
+			lat:     machine.Latency(op.Opcode),
+		})
+	}
+	addDep := func(to, from, lat int) {
+		nodes[to].preds = append(nodes[to].preds, dep{from: from, lat: lat})
+	}
+
+	// Value flow with move insertion. moveIdx caches one move per source
+	// (local def node, or live-in register) and destination cluster.
+	type moveKey struct {
+		srcNode int // -1 when the source is a live-in register
+		reg     ir.VReg
+		to      int
+	}
+	moveIdx := map[moveKey]int{}
+	getMove := func(k moveKey, srcCluster, srcLat int) int {
+		if mi, ok := moveIdx[k]; ok {
+			return mi
+		}
+		mi := len(nodes)
+		nodes = append(nodes, &node{
+			cluster: srcCluster, // moves issue on the sending cluster
+			kind:    machine.FUInt,
+			lat:     cfg.MoveLat(srcCluster, k.to),
+			isMove:  true,
+		})
+		if k.srcNode >= 0 {
+			addDep(mi, k.srcNode, srcLat)
+		}
+		moveIdx[k] = mi
+		return mi
+	}
+
+	lastDef := map[ir.VReg]int{}    // reg -> node of latest local def
+	lastUses := map[ir.VReg][]int{} // reg -> nodes using it since last def
+	var memNodes []int              // loads/stores/mallocs/calls in order
+
+	for _, op := range b.Ops {
+		ni := idxOf[op]
+		uc := nodes[ni].cluster
+		for _, a := range op.Args {
+			if !a.IsReg() {
+				continue
+			}
+			if d, ok := lastDef[a.Reg]; ok {
+				// Local flow dependence.
+				dc := nodes[d].cluster
+				if dc == uc {
+					addDep(ni, d, nodes[d].lat)
+				} else {
+					mi := getMove(moveKey{srcNode: d, to: uc}, dc, nodes[d].lat)
+					addDep(ni, mi, cfg.MoveLat(dc, uc))
+				}
+			} else {
+				// Live-in value.
+				hc := EverywhereHome
+				if int(a.Reg) < len(home) {
+					hc = home[a.Reg]
+				}
+				if hc != EverywhereHome && hc != uc {
+					if lc != nil && lc.FreeLiveIn(b, a.Reg) {
+						// Delivered once per loop entry, not per
+						// iteration.
+						key := [2]int{int(a.Reg), uc}
+						if !hoistSeen[key] {
+							hoistSeen[key] = true
+							hoisted = append(hoisted, HoistedMove{
+								Loop: lc.InnermostLoop(b), Reg: a.Reg, To: uc,
+							})
+						}
+					} else {
+						mi := getMove(moveKey{srcNode: -1, reg: a.Reg, to: uc}, hc, 0)
+						addDep(ni, mi, cfg.MoveLat(hc, uc))
+					}
+				}
+			}
+			lastUses[a.Reg] = append(lastUses[a.Reg], ni)
+		}
+		if op.Dst != ir.NoReg {
+			// Anti dependences: a redefinition must not issue before prior
+			// uses; output dependence on a prior def of the same register.
+			for _, u := range lastUses[op.Dst] {
+				if u != ni {
+					addDep(ni, u, 0)
+				}
+			}
+			if d, ok := lastDef[op.Dst]; ok && d != ni {
+				addDep(ni, d, 1)
+			}
+			lastDef[op.Dst] = ni
+			lastUses[op.Dst] = nil
+		}
+		// Memory and call ordering.
+		if op.Opcode.IsMem() || op.Opcode == ir.OpCall {
+			for _, pj := range memNodes {
+				if memConflict(nodes[pj].op, op) {
+					addDep(ni, pj, 1)
+				}
+			}
+			memNodes = append(memNodes, ni)
+		}
+	}
+	return nodes, hoisted
+}
+
+// memConflict reports whether two memory/call operations must stay ordered:
+// calls conflict with everything; load-load pairs never conflict; other
+// pairs conflict when their may-access sets intersect (unknown sets are
+// conservative).
+func memConflict(a, b *ir.Op) bool {
+	if a.Opcode == ir.OpCall || b.Opcode == ir.OpCall {
+		return true
+	}
+	if a.Opcode == ir.OpLoad && b.Opcode == ir.OpLoad {
+		return false
+	}
+	if a.Opcode == ir.OpMalloc && b.Opcode == ir.OpMalloc {
+		return false
+	}
+	if len(a.MayAccess) == 0 || len(b.MayAccess) == 0 {
+		return true
+	}
+	i, j := 0, 0
+	for i < len(a.MayAccess) && j < len(b.MayAccess) {
+		switch {
+		case a.MayAccess[i] == b.MayAccess[j]:
+			return true
+		case a.MayAccess[i] < b.MayAccess[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// listSchedule performs resource-constrained list scheduling over nodes and
+// returns the schedule length.
+func listSchedule(nodes []*node, cfg *machine.Config) int {
+	n := len(nodes)
+	succs := make([][]dep, n)
+	npreds := make([]int, n)
+	for i, nd := range nodes {
+		npreds[i] = len(nd.preds)
+		for _, p := range nd.preds {
+			succs[p.from] = append(succs[p.from], dep{from: i, lat: p.lat})
+		}
+	}
+	// Priority: longest path (sum of latencies) from the node to any sink.
+	order := topoOrder(nodes, succs)
+	for i := n - 1; i >= 0; i-- {
+		nd := nodes[order[i]]
+		nd.prio = int64(nd.lat)
+		for _, s := range succs[order[i]] {
+			if p := int64(s.lat) + nodes[s.from].prio; p > nd.prio {
+				nd.prio = p
+			}
+		}
+	}
+
+	earliest := make([]int, n)
+	unscheduled := n
+	scheduled := make([]bool, n)
+	// Resource tables grow on demand: usage[t][cluster][kind], bus[t].
+	var usage [][][]int
+	var bus []int
+	ensure := func(t int) {
+		for len(usage) <= t {
+			u := make([][]int, cfg.NumClusters())
+			for c := range u {
+				u[c] = make([]int, machine.NumFUKinds)
+			}
+			usage = append(usage, u)
+			bus = append(bus, 0)
+		}
+	}
+
+	length := 1
+	for t := 0; unscheduled > 0; t++ {
+		ensure(t)
+		// Gather ready nodes.
+		var ready []int
+		for i := range nodes {
+			if !scheduled[i] && npreds[i] == 0 && earliest[i] <= t {
+				ready = append(ready, i)
+			}
+		}
+		sort.Slice(ready, func(a, b int) bool {
+			x, y := nodes[ready[a]], nodes[ready[b]]
+			if x.prio != y.prio {
+				return x.prio > y.prio
+			}
+			return ready[a] < ready[b]
+		})
+		for _, i := range ready {
+			nd := nodes[i]
+			if usage[t][nd.cluster][nd.kind] >= cfg.Units(nd.cluster, nd.kind) {
+				continue
+			}
+			if nd.isMove && bus[t] >= cfg.MoveBandwidth {
+				continue
+			}
+			usage[t][nd.cluster][nd.kind]++
+			if nd.isMove {
+				bus[t]++
+			}
+			nd.start = t
+			scheduled[i] = true
+			unscheduled--
+			if end := t + nd.lat; end > length {
+				length = end
+			}
+			for _, s := range succs[i] {
+				npreds[s.from]--
+				if e := t + s.lat; e > earliest[s.from] {
+					earliest[s.from] = e
+				}
+			}
+		}
+	}
+	return length
+}
+
+func topoOrder(nodes []*node, succs [][]dep) []int {
+	n := len(nodes)
+	indeg := make([]int, n)
+	for i := range nodes {
+		indeg[i] = len(nodes[i].preds)
+	}
+	var order []int
+	var queue []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, s := range succs[u] {
+			indeg[s.from]--
+			if indeg[s.from] == 0 {
+				queue = append(queue, s.from)
+			}
+		}
+	}
+	return order
+}
+
+// FuncResult aggregates block scheduling outcomes for a function.
+type FuncResult struct {
+	Blocks []BlockResult // indexed by block ID
+	// Hoisted lists the distinct loop-entry intercluster copies of
+	// loop-invariant live-in values (deduplicated per loop).
+	Hoisted []HoistedMove
+	// LC is the loop context the hoisting decisions came from.
+	LC *LoopCtx
+}
+
+// ScheduleFunc schedules every block of f under assignment asg, hoisting
+// loop-invariant intercluster copies to loop entries.
+func ScheduleFunc(f *ir.Func, asg []int, cfg *machine.Config) FuncResult {
+	return ScheduleFuncCtx(f, asg, NewLoopCtx(f), cfg)
+}
+
+// ScheduleFuncCtx is ScheduleFunc with a caller-supplied (cacheable) loop
+// context.
+func ScheduleFuncCtx(f *ir.Func, asg []int, lc *LoopCtx, cfg *machine.Config) FuncResult {
+	return ScheduleFuncFreq(f, asg, lc, cfg, nil)
+}
+
+// ScheduleFuncFreq additionally weights block-boundary value homes by
+// profile frequency, so hot in-loop definitions dominate cold ones.
+func ScheduleFuncFreq(f *ir.Func, asg []int, lc *LoopCtx, cfg *machine.Config, freq func(*ir.Block) int64) FuncResult {
+	home := HomeClustersFreq(f, asg, cfg.NumClusters(), freq)
+	res := FuncResult{Blocks: make([]BlockResult, len(f.Blocks)), LC: lc}
+	seen := map[HoistedMove]bool{}
+	for _, b := range f.Blocks {
+		br, hoisted := ScheduleBlockCtx(b, asg, home, lc, cfg)
+		res.Blocks[b.ID] = br
+		for _, h := range hoisted {
+			if !seen[h] {
+				seen[h] = true
+				res.Hoisted = append(res.Hoisted, h)
+			}
+		}
+	}
+	SortHoisted(res.Hoisted)
+	return res
+}
+
+// ProgramCycles computes the profile-weighted dynamic cycle count and move
+// count of a whole module under per-function assignments. Hoisted
+// loop-invariant copies cost one move (and one cycle) per loop entry.
+func ProgramCycles(m *ir.Module, asg map[*ir.Func][]int, cfg *machine.Config, prof *interp.Profile) (cycles, moves int64) {
+	for _, f := range m.Funcs {
+		res := ScheduleFuncFreq(f, asg[f], NewLoopCtx(f), cfg, prof.Freq)
+		for _, b := range f.Blocks {
+			freq := prof.Freq(b)
+			if freq == 0 {
+				continue
+			}
+			cycles += freq * int64(res.Blocks[b.ID].Length)
+			moves += freq * int64(res.Blocks[b.ID].Moves)
+		}
+		for _, h := range res.Hoisted {
+			entries := res.LC.EntryFreq(h.Loop, prof.Freq)
+			moves += entries
+			cycles += entries
+		}
+	}
+	return cycles, moves
+}

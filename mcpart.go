@@ -1,0 +1,278 @@
+// Package mcpart is a compiler-directed data and computation partitioner
+// for multicluster (clustered VLIW) processors — a from-scratch
+// reproduction of Chu & Mahlke, "Compiler-directed Data Partitioning for
+// Multicluster Processors" (CGO 2006).
+//
+// The pipeline compiles a program written in mclang (a small C-like
+// language), analyzes which data objects every memory operation can touch,
+// profiles one execution, and then partitions both the data objects
+// (globals and heap allocation sites) and the computation operations across
+// the clusters of a parameterized VLIW machine. Cycle counts come from a
+// cluster-aware list scheduler that materializes intercluster moves.
+//
+// Quick start:
+//
+//	p, err := mcpart.Compile("demo", src)
+//	m := mcpart.Paper2Cluster(5) // the paper's machine, 5-cycle moves
+//	cmp, err := mcpart.EvaluateAll(p, m)
+//	fmt.Println(cmp.GDP.Cycles, cmp.Unified.Cycles)
+//
+// The four schemes match the paper's Table 1: SchemeGDP (the paper's
+// contribution: global data partitioning followed by lock-aware RHOP),
+// SchemeProfileMax, SchemeNaive, and SchemeUnified (the shared-memory upper
+// bound).
+package mcpart
+
+import (
+	"fmt"
+	"sort"
+
+	"mcpart/internal/bench"
+	"mcpart/internal/eval"
+	"mcpart/internal/gdp"
+	"mcpart/internal/interp"
+	"mcpart/internal/ir"
+	"mcpart/internal/machine"
+	"mcpart/internal/mclang"
+	"mcpart/internal/rhop"
+	"mcpart/internal/sched"
+)
+
+// Machine describes a multicluster VLIW target (clusters, function units,
+// intercluster network).
+type Machine = machine.Config
+
+// Scheme names one of the paper's partitioning strategies.
+type Scheme = eval.Scheme
+
+// The schemes of the paper's Table 1.
+const (
+	SchemeUnified    = eval.SchemeUnified
+	SchemeGDP        = eval.SchemeGDP
+	SchemeProfileMax = eval.SchemeProfileMax
+	SchemeNaive      = eval.SchemeNaive
+)
+
+// Result is one scheme's outcome: dynamic cycles, dynamic intercluster
+// moves, the data map, and the computation assignment.
+type Result = eval.Result
+
+// Comparison holds all four schemes' results for one program and machine.
+type Comparison = eval.BenchResult
+
+// DataMap assigns each data object a home cluster memory.
+type DataMap = gdp.DataMap
+
+// Options tunes the partitioning schemes (see eval.Options, gdp.Options and
+// rhop.Options for the individual knobs and their paper defaults).
+type Options = eval.Options
+
+// ExhaustiveResult is the Figure 9 dataset: every data mapping's cycles and
+// balance, with the GDP and Profile Max choices marked.
+type ExhaustiveResult = eval.ExhaustiveResult
+
+// Machine presets.
+var (
+	// Paper2Cluster is the paper's evaluation machine: 2 homogeneous
+	// clusters x {2 integer, 1 float, 1 memory, 1 branch}, one intercluster
+	// move per cycle at the given latency (the paper uses 1, 5, and 10).
+	Paper2Cluster = machine.Paper2Cluster
+	// FourCluster scales the paper machine to four clusters.
+	FourCluster = machine.FourCluster
+	// Heterogeneous2 doubles cluster 0's integer bandwidth (§2's example).
+	Heterogeneous2 = machine.Heterogeneous2
+	// WithMemCapacities sets per-cluster scratchpad capacities on a copy
+	// of a machine; the data partitioner then balances object bytes to the
+	// capacity ratios (the paper's parameterized balance, §3.3.2).
+	WithMemCapacities = machine.WithMemCapacities
+	// RingFour is a four-cluster machine on a nearest-neighbor ring
+	// (tiled-machine interconnect; moves cost MoveLatency per hop).
+	RingFour = machine.RingFour
+)
+
+// Program is a compiled, analyzed, and profiled program — the input every
+// partitioning scheme shares.
+type Program struct {
+	c *eval.Compiled
+}
+
+// CompileOptions tunes the front end.
+type CompileOptions struct {
+	// Unroll is the innermost-loop unrolling factor; 0 means the default
+	// (4, matching aggressive VLIW compilation), 1 disables unrolling.
+	Unroll int
+	// NoOptimize disables the classical optimizer (constant folding, copy
+	// propagation, CSE, dead-code elimination) that otherwise runs before
+	// analysis, as it would in the paper's Trimaran toolchain.
+	NoOptimize bool
+}
+
+// Compile builds a Program from mclang source with default options.
+func Compile(name, source string) (*Program, error) {
+	return CompileWithOptions(name, source, CompileOptions{})
+}
+
+// CompileWithOptions builds a Program with explicit front-end options.
+func CompileWithOptions(name, source string, opts CompileOptions) (*Program, error) {
+	unroll := opts.Unroll
+	if unroll == 0 {
+		unroll = eval.DefaultUnroll
+	}
+	c, err := eval.PrepareFull(name, source, unroll, !opts.NoOptimize)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{c: c}, nil
+}
+
+// Name returns the program's name.
+func (p *Program) Name() string { return p.c.Name }
+
+// Checksum returns main's return value from the profiling run.
+func (p *Program) Checksum() int64 { return p.c.Ret }
+
+// Module exposes the underlying IR for advanced use (printing, custom
+// analyses).
+func (p *Program) Module() *ir.Module { return p.c.Mod }
+
+// Profile exposes the dynamic profile gathered during compilation.
+func (p *Program) Profile() *interp.Profile { return p.c.Prof }
+
+// ObjectInfo summarizes one data object for reporting.
+type ObjectInfo struct {
+	ID       int
+	Name     string
+	Heap     bool
+	Bytes    int64 // profiled size (allocated bytes for heap sites)
+	Accesses int64 // dynamic load/store count
+}
+
+// Objects lists the program's data objects in ID order.
+func (p *Program) Objects() []ObjectInfo {
+	out := make([]ObjectInfo, 0, len(p.c.Mod.Objects))
+	for _, o := range p.c.Mod.Objects {
+		bytes := o.Size
+		if b, ok := p.c.Prof.ObjBytes[o.ID]; ok && b > 0 {
+			bytes = b
+		}
+		out = append(out, ObjectInfo{
+			ID:       o.ID,
+			Name:     o.Name,
+			Heap:     o.Kind == ir.ObjHeap,
+			Bytes:    bytes,
+			Accesses: p.c.Prof.ObjAccess[o.ID],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Evaluate runs one scheme on the program and machine.
+func Evaluate(p *Program, m *Machine, s Scheme, opts Options) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	switch s {
+	case SchemeUnified:
+		return eval.RunUnified(p.c, m, opts)
+	case SchemeGDP:
+		return eval.RunGDP(p.c, m, opts)
+	case SchemeProfileMax:
+		return eval.RunProfileMax(p.c, m, opts)
+	case SchemeNaive:
+		return eval.RunNaive(p.c, m, opts)
+	}
+	return nil, fmt.Errorf("mcpart: unknown scheme %q", s)
+}
+
+// EvaluateAll runs all four Table 1 schemes.
+func EvaluateAll(p *Program, m *Machine) (*Comparison, error) {
+	return EvaluateAllWithOptions(p, m, Options{})
+}
+
+// EvaluateAllWithOptions runs all four schemes with explicit options.
+func EvaluateAllWithOptions(p *Program, m *Machine, opts Options) (*Comparison, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return eval.RunAllSchemes(p.c, m, opts)
+}
+
+// EvaluateDataMap evaluates an externally chosen object mapping (lock the
+// memory operations, run the computation partitioner, schedule).
+func EvaluateDataMap(p *Program, m *Machine, dm DataMap, opts Options) (*Result, error) {
+	if err := dm.Validate(p.c.Mod, m.NumClusters()); err != nil {
+		return nil, err
+	}
+	return eval.RunWithDataMap(p.c, m, dm, opts)
+}
+
+// ExhaustiveSearch enumerates every data-object mapping on a 2-cluster
+// machine (the paper's Figure 9). maxObjects guards against blowup
+// (0 means 14, i.e. at most 16384 mappings).
+func ExhaustiveSearch(p *Program, m *Machine, opts Options, maxObjects int) (*ExhaustiveResult, error) {
+	return eval.Exhaustive(p.c, m, opts, maxObjects)
+}
+
+// RelativePerf returns scheme performance relative to the unified-memory
+// bound (1.0 = matches unified; the paper's Figures 7/8 metric).
+func RelativePerf(unified, scheme *Result) float64 {
+	return eval.RelativePerf(unified, scheme)
+}
+
+// PartitionData runs only the first GDP pass and returns the data map (with
+// merge-group diagnostics) without partitioning computation.
+func PartitionData(p *Program, clusters int, opts gdp.Options) (*gdp.Result, error) {
+	return gdp.PartitionData(p.c.Mod, p.c.Prof, clusters, opts)
+}
+
+// BenchmarkNames lists the bundled benchmark programs (synthetic stand-ins
+// for the paper's Mediabench + DSP suite).
+func BenchmarkNames() []string { return bench.Names() }
+
+// LoadBenchmark compiles one bundled benchmark by name.
+func LoadBenchmark(name string) (*Program, error) {
+	b, err := bench.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(b.Name, b.Source)
+}
+
+// BenchmarkSource returns the mclang source of a bundled benchmark.
+func BenchmarkSource(name string) (string, error) {
+	b, err := bench.Get(name)
+	if err != nil {
+		return "", err
+	}
+	return b.Source, nil
+}
+
+// ParseOnly parses and type-checks mclang source without lowering, useful
+// for editor-style diagnostics.
+func ParseOnly(source string) error {
+	prog, err := mclang.Parse(source)
+	if err != nil {
+		return err
+	}
+	_, err = mclang.Analyze(prog)
+	return err
+}
+
+// FormatSchedule renders the VLIW schedule (one row per cycle, one column
+// per cluster) of one function under a scheme result.
+func FormatSchedule(p *Program, m *Machine, r *Result, funcName string) (string, error) {
+	f := p.c.Mod.Func(funcName)
+	if f == nil {
+		return "", fmt.Errorf("mcpart: no function %q", funcName)
+	}
+	asg, ok := r.Assign[f]
+	if !ok {
+		return "", fmt.Errorf("mcpart: result has no assignment for %q", funcName)
+	}
+	return sched.FormatFunc(f, asg, m), nil
+}
+
+// Assignment re-exports the computation partitioner's lock type for
+// advanced clients driving rhop directly.
+type Locks = rhop.Locks
