@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench eval fmt vet clean
+.PHONY: all build test test-short race check bench eval fmt vet clean
 
 all: build test
 
@@ -15,6 +15,15 @@ test:
 # Skips the slow full-suite integration and fuzz tests.
 test-short:
 	$(GO) test -short ./...
+
+# Runs the full test suite under the race detector; the parallel
+# evaluation pipeline (internal/parallel, eval.Exhaustive, eval.RunMatrix)
+# must stay race-free at every -j value.
+race:
+	$(GO) test -race ./...
+
+# The default verification gate: build, vet, plain tests, race tests.
+check: build vet test race
 
 # Regenerates every table and figure of the paper as benchmark metrics.
 bench:

@@ -16,8 +16,12 @@ package mcpart
 // slack weights, sink weighting, balance constraints, unroll factors).
 
 import (
+	"flag"
+	"reflect"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"mcpart/internal/bench"
 	"mcpart/internal/cache"
@@ -27,38 +31,49 @@ import (
 	"mcpart/internal/rhop"
 )
 
+// -j bounds the evaluation worker pool the suite benchmarks fan across;
+// 0 (the default) means runtime.GOMAXPROCS(0). Every reported metric is
+// identical for every -j value — only wall time changes.
+var benchJobs = flag.Int("j", 0, "evaluation worker count for suite benchmarks (0 = GOMAXPROCS)")
+
 var (
 	suiteOnce sync.Once
 	suite     []*eval.Compiled
+	suiteErr  error
 )
 
 func suitePrograms(b *testing.B) []*eval.Compiled {
 	b.Helper()
 	suiteOnce.Do(func() {
+		var specs []eval.BenchSpec
 		for _, bm := range bench.All() {
-			c, err := eval.Prepare(bm.Name, bm.Source)
-			if err != nil {
-				b.Fatalf("%s: %v", bm.Name, err)
+			specs = append(specs, eval.BenchSpec{Name: bm.Name, Src: bm.Source})
+		}
+		suite, suiteErr = eval.PrepareAll(specs, *benchJobs)
+		if suiteErr != nil {
+			return
+		}
+		for i, bm := range bench.All() {
+			if bm.Want != 0 && suite[i].Ret != bm.Want {
+				b.Fatalf("%s: checksum %d, want %d", bm.Name, suite[i].Ret, bm.Want)
 			}
-			if bm.Want != 0 && c.Ret != bm.Want {
-				b.Fatalf("%s: checksum %d, want %d", bm.Name, c.Ret, bm.Want)
-			}
-			suite = append(suite, c)
 		}
 	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
 	return suite
 }
 
 func runSuite(b *testing.B, lat int, opts eval.Options) []*eval.BenchResult {
 	b.Helper()
 	cfg := machine.Paper2Cluster(lat)
-	var out []*eval.BenchResult
-	for _, c := range suitePrograms(b) {
-		br, err := eval.RunAllSchemes(c, cfg, opts)
-		if err != nil {
-			b.Fatal(err)
-		}
-		out = append(out, br)
+	if opts.Workers == 0 {
+		opts.Workers = *benchJobs
+	}
+	out, err := eval.RunMatrix(suitePrograms(b), cfg, opts)
+	if err != nil {
+		b.Fatal(err)
 	}
 	return out
 }
@@ -157,6 +172,48 @@ func BenchmarkFigure9(b *testing.B) {
 			b.ReportMetric(gp.PerfVsWorst, name+"-gdp-x")
 		}
 	}
+}
+
+// BenchmarkExhaustiveParallel measures the parallel exhaustive mapping
+// search against the serial reference on rawcaudio and reports the speedup
+// (recorded in BENCH_parallel.json). The parallel run uses -j workers
+// (default GOMAXPROCS); the results are checked deeply equal every
+// iteration, so the speedup is never bought with divergence.
+func BenchmarkExhaustiveParallel(b *testing.B) {
+	cfg := machine.Paper2Cluster(5)
+	var c *eval.Compiled
+	for _, s := range suitePrograms(b) {
+		if s.Name == "rawcaudio" {
+			c = s
+		}
+	}
+	workers := *benchJobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var serial, par time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		exS, err := eval.Exhaustive(c, cfg, eval.Options{Workers: 1}, 14)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serial += time.Since(t0)
+		t1 := time.Now()
+		exP, err := eval.Exhaustive(c, cfg, eval.Options{Workers: workers}, 14)
+		if err != nil {
+			b.Fatal(err)
+		}
+		par += time.Since(t1)
+		if !reflect.DeepEqual(exS, exP) {
+			b.Fatal("parallel exhaustive search differs from serial")
+		}
+	}
+	b.ReportMetric(serial.Seconds()/float64(b.N), "serial-s/op")
+	b.ReportMetric(par.Seconds()/float64(b.N), "parallel-s/op")
+	b.ReportMetric(serial.Seconds()/par.Seconds(), "speedup-x")
+	b.ReportMetric(float64(workers), "workers")
 }
 
 // BenchmarkFigure10 reports the average percent increase in dynamic

@@ -14,6 +14,12 @@
 //	gdpbench -all              # everything
 //	gdpbench -json             # machine-readable per-benchmark results
 //	gdpbench -svg DIR          # render every figure as an SVG file
+//	gdpbench -all -j 8         # fan the evaluation across 8 workers
+//
+// -j N bounds the worker pool that compiles benchmarks and runs the
+// (benchmark × scheme) evaluation matrix; 0 (the default) means
+// runtime.GOMAXPROCS(0). Every table and figure is byte-identical for
+// every -j value — parallelism changes only wall time.
 package main
 
 import (
@@ -48,12 +54,13 @@ func run(args []string, out io.Writer) error {
 		filter      = fs.String("run", "", "only benchmarks whose name contains this substring")
 		jsonOut     = fs.Bool("json", false, "emit machine-readable JSON (per-benchmark, all latencies) instead of text")
 		svgDir      = fs.String("svg", "", "write every figure as an SVG file into this directory")
+		jobs        = fs.Int("j", 0, "evaluation worker count (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	h := &harness{filter: *filter, cache: map[string]*eval.Compiled{}, out: out}
+	h := &harness{filter: *filter, workers: *jobs, cache: map[string]*eval.Compiled{}, out: out}
 	if *jsonOut {
 		return h.emitJSON()
 	}
@@ -114,9 +121,10 @@ func run(args []string, out io.Writer) error {
 }
 
 type harness struct {
-	filter string
-	cache  map[string]*eval.Compiled
-	out    io.Writer
+	filter  string
+	workers int // -j: worker pool bound, 0 = GOMAXPROCS
+	cache   map[string]*eval.Compiled
+	out     io.Writer
 }
 
 func (h *harness) benchmarks() []bench.Benchmark {
@@ -144,21 +152,40 @@ func (h *harness) compiled(b bench.Benchmark) (*eval.Compiled, error) {
 	return c, nil
 }
 
-func (h *harness) runAll(lat int) ([]*eval.BenchResult, error) {
-	cfg := machine.Paper2Cluster(lat)
-	var out []*eval.BenchResult
-	for _, b := range h.benchmarks() {
-		c, err := h.compiled(b)
-		if err != nil {
-			return nil, err
+// prepareAll compiles every uncached benchmark concurrently (bounded by
+// -j), validates checksums, and returns the compiled list in suite order.
+func (h *harness) prepareAll(bs []bench.Benchmark) ([]*eval.Compiled, error) {
+	var missing []eval.BenchSpec
+	for _, b := range bs {
+		if _, ok := h.cache[b.Name]; !ok {
+			missing = append(missing, eval.BenchSpec{Name: b.Name, Src: b.Source})
 		}
-		br, err := eval.RunAllSchemes(c, cfg, eval.Options{})
-		if err != nil {
-			return nil, err
+	}
+	cs, err := eval.PrepareAll(missing, h.workers)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cs {
+		h.cache[c.Name] = c
+	}
+	out := make([]*eval.Compiled, len(bs))
+	for i, b := range bs {
+		c := h.cache[b.Name]
+		if b.Want != 0 && c.Ret != b.Want {
+			return nil, fmt.Errorf("%s: checksum %d, want %d", b.Name, c.Ret, b.Want)
 		}
-		out = append(out, br)
+		out[i] = c
 	}
 	return out, nil
+}
+
+func (h *harness) runAll(lat int) ([]*eval.BenchResult, error) {
+	cfg := machine.Paper2Cluster(lat)
+	cs, err := h.prepareAll(h.benchmarks())
+	if err != nil {
+		return nil, err
+	}
+	return eval.RunMatrix(cs, cfg, eval.Options{Workers: h.workers})
 }
 
 func (h *harness) figure2() error {
@@ -194,7 +221,7 @@ func (h *harness) figure9() error {
 		if err != nil {
 			return err
 		}
-		ex, err := eval.Exhaustive(c, cfg, eval.Options{}, 14)
+		ex, err := eval.Exhaustive(c, cfg, eval.Options{Workers: h.workers}, 14)
 		if err != nil {
 			return err
 		}
@@ -335,7 +362,7 @@ func (h *harness) emitSVGs(dir string) error {
 		if err != nil {
 			return err
 		}
-		ex, err := eval.Exhaustive(c, cfg, eval.Options{}, 14)
+		ex, err := eval.Exhaustive(c, cfg, eval.Options{Workers: h.workers}, 14)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,11 @@
 //
 //	gdpexplore -bench rawcaudio -latency 5
 //	gdpexplore -bench rawdaudio -latency 5 -csv > rawdaudio.csv
+//	gdpexplore -bench rawcaudio -j 8       # 8 search workers
+//
+// -j N bounds the worker pool the exhaustive search fans mapping masks
+// across; 0 (the default) means runtime.GOMAXPROCS(0). The output is
+// byte-identical for every -j value.
 package main
 
 import (
@@ -35,6 +40,7 @@ func run(args []string, out io.Writer) error {
 		latency = fs.Int("latency", 5, "intercluster move latency")
 		maxObj  = fs.Int("maxobjects", 14, "refuse programs with more data objects")
 		csv     = fs.Bool("csv", false, "emit CSV instead of a text scatter")
+		jobs    = fs.Int("j", 0, "search worker count (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,7 +55,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	m := mcpart.Paper2Cluster(*latency)
-	ex, err := mcpart.ExhaustiveSearch(p, m, mcpart.Options{}, *maxObj)
+	ex, err := mcpart.ExhaustiveSearch(p, m, mcpart.Options{Workers: *jobs}, *maxObj)
 	if err != nil {
 		return err
 	}

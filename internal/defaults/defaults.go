@@ -1,0 +1,34 @@
+// Package defaults pins the repository-wide convention for option knobs:
+// the zero value of every Options struct selects the documented defaults,
+// and every numeric knob treats a non-positive value as "use the default".
+//
+// That single sentinel rule is what lets call sites write Options{} (or
+// set just one field) without consulting each package's defaults, and it
+// is why no knob in this repository has a meaningful zero or negative
+// setting — a knob that needed one would need an explicit pointer or
+// *Set bool instead.
+//
+// Every accessor of the form
+//
+//	func (o Options) knob() T { return defaults.T(o.Knob, d) }
+//
+// routes through this package so the convention lives in exactly one
+// place. parallel.Workers applies the same rule to worker counts (-j
+// flags and Options.Workers fields: non-positive means GOMAXPROCS).
+package defaults
+
+// Int returns v, or d when v is non-positive.
+func Int(v, d int) int {
+	if v <= 0 {
+		return d
+	}
+	return v
+}
+
+// Float returns v, or d when v is non-positive.
+func Float(v, d float64) float64 {
+	if v <= 0 {
+		return d
+	}
+	return v
+}

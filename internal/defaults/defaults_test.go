@@ -1,0 +1,29 @@
+package defaults
+
+import "testing"
+
+func TestInt(t *testing.T) {
+	for _, tc := range []struct{ v, d, want int }{
+		{0, 4, 4},
+		{-1, 4, 4},
+		{1, 4, 1},
+		{7, 4, 7},
+	} {
+		if got := Int(tc.v, tc.d); got != tc.want {
+			t.Errorf("Int(%d, %d) = %d, want %d", tc.v, tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestFloat(t *testing.T) {
+	for _, tc := range []struct{ v, d, want float64 }{
+		{0, 0.4, 0.4},
+		{-0.5, 0.4, 0.4},
+		{0.1, 0.4, 0.1},
+		{2, 0.4, 2},
+	} {
+		if got := Float(tc.v, tc.d); got != tc.want {
+			t.Errorf("Float(%v, %v) = %v, want %v", tc.v, tc.d, got, tc.want)
+		}
+	}
+}

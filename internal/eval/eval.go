@@ -12,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"mcpart/internal/defaults"
 	"mcpart/internal/gdp"
 	"mcpart/internal/interp"
 	"mcpart/internal/ir"
@@ -101,14 +102,15 @@ type Options struct {
 	// ProfileMaxTol is the memory balance threshold of the Profile Max
 	// greedy assignment (default 0.10, matching GDP's).
 	ProfileMaxTol float64
+	// Workers bounds the evaluation worker pool used by Exhaustive,
+	// RunAllSchemes and RunMatrix. Zero or negative selects
+	// runtime.GOMAXPROCS(0) — the repository-wide sentinel convention
+	// (see parallel.Workers). Results are identical for every worker
+	// count; only wall time changes.
+	Workers int
 }
 
-func (o Options) pmaxTol() float64 {
-	if o.ProfileMaxTol <= 0 {
-		return 0.10
-	}
-	return o.ProfileMaxTol
-}
+func (o Options) pmaxTol() float64 { return defaults.Float(o.ProfileMaxTol, 0.10) }
 
 func runRHOP(c *Compiled, cfg *machine.Config, locks map[*ir.Func]rhop.Locks,
 	opts rhop.Options, res *Result) (map[*ir.Func][]int, error) {

@@ -1,10 +1,12 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"mcpart/internal/gdp"
 	"mcpart/internal/machine"
+	"mcpart/internal/parallel"
 )
 
 // MappingPoint is one point of the Figure 9 scatter: a complete data-object
@@ -36,6 +38,11 @@ type ExhaustiveResult struct {
 // (2^objects of them), evaluates each through the locked second pass, and
 // returns the scatter along with the mappings GDP and Profile Max picked.
 // The object count must be at most maxObjects (guard against blowup).
+//
+// The masks are fanned across opts.Workers goroutines; every worker owns
+// its own DataMap and (through RunWithDataMap) its own scheduler and
+// partitioner scratch state, and the points are stitched back in mask
+// order, so the result is byte-identical to the serial evaluation.
 func Exhaustive(c *Compiled, cfg *machine.Config, opts Options, maxObjects int) (*ExhaustiveResult, error) {
 	if cfg.NumClusters() != 2 {
 		return nil, fmt.Errorf("eval: exhaustive search needs a 2-cluster machine, got %d", cfg.NumClusters())
@@ -54,29 +61,31 @@ func Exhaustive(c *Compiled, cfg *machine.Config, opts Options, maxObjects int) 
 		totalBytes += bytes[i]
 	}
 	res := &ExhaustiveResult{}
-	dm := make(gdp.DataMap, n)
-	for mask := uint64(0); mask < 1<<uint(n); mask++ {
-		var b1 int64
-		for i := 0; i < n; i++ {
-			dm[i] = int(mask >> uint(i) & 1)
-			if dm[i] == 1 {
-				b1 += bytes[i]
+	points, err := parallel.Map(context.Background(), 1<<uint(n), opts.Workers,
+		func(_ context.Context, i int) (MappingPoint, error) {
+			mask := uint64(i)
+			dm := make(gdp.DataMap, n)
+			var b1 int64
+			for j := 0; j < n; j++ {
+				dm[j] = int(mask >> uint(j) & 1)
+				if dm[j] == 1 {
+					b1 += bytes[j]
+				}
 			}
-		}
-		r, err := RunWithDataMap(c, cfg, dm, opts)
-		if err != nil {
-			return nil, err
-		}
-		imb := 0.0
-		if totalBytes > 0 {
-			imb = float64(abs64(totalBytes-2*b1)) / float64(totalBytes)
-		}
-		res.Points = append(res.Points, MappingPoint{
-			Mask:      mask,
-			Cycles:    r.Cycles,
-			Imbalance: imb,
+			r, err := RunWithDataMap(c, cfg, dm, opts)
+			if err != nil {
+				return MappingPoint{}, err
+			}
+			imb := 0.0
+			if totalBytes > 0 {
+				imb = float64(abs64(totalBytes-2*b1)) / float64(totalBytes)
+			}
+			return MappingPoint{Mask: mask, Cycles: r.Cycles, Imbalance: imb}, nil
 		})
+	if err != nil {
+		return nil, err
 	}
+	res.Points = points
 	res.Worst, res.Best = res.Points[0].Cycles, res.Points[0].Cycles
 	for _, p := range res.Points {
 		if p.Cycles > res.Worst {
@@ -89,16 +98,24 @@ func Exhaustive(c *Compiled, cfg *machine.Config, opts Options, maxObjects int) 
 	for i := range res.Points {
 		res.Points[i].PerfVsWorst = float64(res.Worst) / float64(res.Points[i].Cycles)
 	}
-	// Mark the schemes' choices.
-	gdpRes, err := RunGDP(c, cfg, opts)
+	// Mark the schemes' choices (independent of the scatter and of each
+	// other, so they can share the pool too).
+	var gdpRes, pmaxRes *Result
+	err = parallel.Do(context.Background(), opts.Workers,
+		func(context.Context) error {
+			r, err := RunGDP(c, cfg, opts)
+			gdpRes = r
+			return err
+		},
+		func(context.Context) error {
+			r, err := RunProfileMax(c, cfg, opts)
+			pmaxRes = r
+			return err
+		})
 	if err != nil {
 		return nil, err
 	}
 	res.GDPMask = maskOf(gdpRes.DataMap)
-	pmaxRes, err := RunProfileMax(c, cfg, opts)
-	if err != nil {
-		return nil, err
-	}
 	res.PMaxMask = maskOf(pmaxRes.DataMap)
 	return res, nil
 }

@@ -1,0 +1,31 @@
+package eval
+
+import (
+	"runtime"
+	"testing"
+
+	"mcpart/internal/parallel"
+)
+
+// TestOptionDefaults pins the documented defaults behind the repository's
+// option convention (see internal/defaults): a zero or negative knob
+// selects the default, any positive value wins. Workers follows the same
+// sentinel through parallel.Workers.
+func TestOptionDefaults(t *testing.T) {
+	var zero Options
+	if got := zero.pmaxTol(); got != 0.10 {
+		t.Errorf("zero ProfileMaxTol -> %v, want 0.10", got)
+	}
+	if got := (Options{ProfileMaxTol: -1}).pmaxTol(); got != 0.10 {
+		t.Errorf("negative ProfileMaxTol -> %v, want 0.10", got)
+	}
+	if got := (Options{ProfileMaxTol: 0.25}).pmaxTol(); got != 0.25 {
+		t.Errorf("set ProfileMaxTol -> %v, want 0.25", got)
+	}
+	if got := parallel.Workers(zero.Workers); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("zero Workers -> %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := parallel.Workers(3); got != 3 {
+		t.Errorf("Workers 3 -> %d, want 3", got)
+	}
+}

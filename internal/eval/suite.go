@@ -1,12 +1,14 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 
 	"mcpart/internal/machine"
+	"mcpart/internal/parallel"
 )
 
 // BenchResult holds all four schemes' results for one benchmark on one
@@ -19,24 +21,73 @@ type BenchResult struct {
 	Naive   *Result
 }
 
+// schemeRunners lists the Table 1 schemes in their canonical order. The
+// matrix runners index work items against this slice so results land in
+// fixed slots no matter which worker finishes first.
+var schemeRunners = []struct {
+	scheme Scheme
+	run    func(*Compiled, *machine.Config, Options) (*Result, error)
+	store  func(*BenchResult, *Result)
+}{
+	{SchemeUnified, RunUnified, func(br *BenchResult, r *Result) { br.Unified = r }},
+	{SchemeGDP, RunGDP, func(br *BenchResult, r *Result) { br.GDP = r }},
+	{SchemeProfileMax, RunProfileMax, func(br *BenchResult, r *Result) { br.PMax = r }},
+	{SchemeNaive, RunNaive, func(br *BenchResult, r *Result) { br.Naive = r }},
+}
+
 // RunAllSchemes evaluates the four Table 1 schemes on one prepared
-// benchmark.
+// benchmark, fanning the (independent) schemes across opts.Workers.
 func RunAllSchemes(c *Compiled, cfg *machine.Config, opts Options) (*BenchResult, error) {
-	br := &BenchResult{Name: c.Name}
-	var err error
-	if br.Unified, err = RunUnified(c, cfg, opts); err != nil {
-		return nil, fmt.Errorf("%s unified: %w", c.Name, err)
+	brs, err := RunMatrix([]*Compiled{c}, cfg, opts)
+	if err != nil {
+		return nil, err
 	}
-	if br.GDP, err = RunGDP(c, cfg, opts); err != nil {
-		return nil, fmt.Errorf("%s gdp: %w", c.Name, err)
+	return brs[0], nil
+}
+
+// RunMatrix evaluates the full (benchmark × scheme) matrix: every Table 1
+// scheme on every prepared benchmark. The cells are independent, so all
+// 4·len(cs) of them fan across opts.Workers; each cell builds its own
+// partitioner and scheduler state, and the results are stitched back by
+// (benchmark, scheme) index, identical to the serial nested loop.
+func RunMatrix(cs []*Compiled, cfg *machine.Config, opts Options) ([]*BenchResult, error) {
+	brs := make([]*BenchResult, len(cs))
+	for i, c := range cs {
+		brs[i] = &BenchResult{Name: c.Name}
 	}
-	if br.PMax, err = RunProfileMax(c, cfg, opts); err != nil {
-		return nil, fmt.Errorf("%s profilemax: %w", c.Name, err)
+	ns := len(schemeRunners)
+	results, err := parallel.Map(context.Background(), len(cs)*ns, opts.Workers,
+		func(_ context.Context, i int) (*Result, error) {
+			c, sr := cs[i/ns], schemeRunners[i%ns]
+			r, err := sr.run(c, cfg, opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", c.Name, strings.ToLower(string(sr.scheme)), err)
+			}
+			return r, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	if br.Naive, err = RunNaive(c, cfg, opts); err != nil {
-		return nil, fmt.Errorf("%s naive: %w", c.Name, err)
+	for i, r := range results {
+		schemeRunners[i%ns].store(brs[i/ns], r)
 	}
-	return br, nil
+	return brs, nil
+}
+
+// BenchSpec names one benchmark source for PrepareAll.
+type BenchSpec struct {
+	Name string
+	Src  string
+}
+
+// PrepareAll compiles, analyzes and profiles every benchmark, fanning the
+// (independent) front-end pipelines across workers (the usual sentinel:
+// <= 0 means runtime.GOMAXPROCS(0)). Results come back in spec order.
+func PrepareAll(specs []BenchSpec, workers int) ([]*Compiled, error) {
+	return parallel.Map(context.Background(), len(specs), workers,
+		func(_ context.Context, i int) (*Compiled, error) {
+			return Prepare(specs[i].Name, specs[i].Src)
+		})
 }
 
 // GeoMean returns the geometric mean of xs (which must be positive).

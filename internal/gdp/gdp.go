@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"mcpart/internal/cfg"
+	"mcpart/internal/defaults"
 	"mcpart/internal/interp"
 	"mcpart/internal/ir"
 	"mcpart/internal/partition"
@@ -56,19 +57,8 @@ type Options struct {
 	SlackMerge bool
 }
 
-func (o Options) memTol() float64 {
-	if o.MemTol <= 0 {
-		return 0.10
-	}
-	return o.MemTol
-}
-
-func (o Options) opTol() float64 {
-	if o.OpTol <= 0 {
-		return 0.60
-	}
-	return o.OpTol
-}
+func (o Options) memTol() float64 { return defaults.Float(o.MemTol, 0.10) }
+func (o Options) opTol() float64  { return defaults.Float(o.OpTol, 0.60) }
 
 // Result is the outcome of global data partitioning.
 type Result struct {

@@ -1,0 +1,125 @@
+// Package parallel provides the bounded worker pool the evaluation
+// pipeline uses to fan independent work units — exhaustive mapping masks,
+// (benchmark, scheme) pairs, front-end compilations — across CPUs.
+//
+// The pool guarantees three properties the deterministic reproduction
+// depends on:
+//
+//   - deterministic result ordering: Map returns results indexed by work
+//     item, so output is byte-identical regardless of worker count or
+//     completion order;
+//   - first-error propagation: the error of the lowest-indexed failing
+//     item wins, matching what a serial loop would have returned;
+//   - cancellation: once any item fails (or the caller's context is
+//     canceled), workers stop picking up new items.
+//
+// Workers never share mutable state through this package; each writes only
+// its own result slot.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a worker-count knob: zero or negative selects
+// runtime.GOMAXPROCS(0). This is the single sentinel convention every
+// -j flag and Options.Workers field in the repository follows.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on at most workers goroutines
+// and returns the results in index order. A nil ctx means
+// context.Background(). If any call fails, Map cancels the shared context,
+// lets in-flight calls finish, and returns the error of the lowest-indexed
+// failure — exactly the error a serial i := 0..n-1 loop would have
+// surfaced. On error the partial results are discarded (nil is returned).
+func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		// Serial fast path: no goroutines, no channels — the -j 1
+		// reference the determinism tests compare against.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = n // index of the failure currently winning
+		next     int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= n || firstErr != nil && next > errIdx || ctx.Err() != nil {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				v, err := fn(ctx, i)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil || i < errIdx {
+						firstErr, errIdx = err, i
+					}
+					mu.Unlock()
+					cancel()
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Do runs every task on at most workers goroutines and returns the error
+// of the lowest-indexed failing task, canceling the rest. It is Map for
+// side-effecting tasks that produce no value.
+func Do(ctx context.Context, workers int, tasks ...func(ctx context.Context) error) error {
+	_, err := Map(ctx, len(tasks), workers, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, tasks[i](ctx)
+	})
+	return err
+}

@@ -3,6 +3,8 @@ package partition
 import (
 	"fmt"
 	"sort"
+
+	"mcpart/internal/defaults"
 )
 
 // Options tunes the partitioner.
@@ -44,18 +46,30 @@ func (o Options) tol(d int) float64 {
 	return o.Tol[d]
 }
 
-func (o Options) coarseTarget() int {
-	if o.CoarseTarget <= 0 {
-		return 24
-	}
-	return o.CoarseTarget
+func (o Options) coarseTarget() int { return defaults.Int(o.CoarseTarget, 24) }
+func (o Options) maxPasses() int    { return defaults.Int(o.MaxPasses, 8) }
+
+// bscratch holds the bisection's reusable working memory: the matching and
+// candidate tables that coarsen and refine would otherwise allocate at
+// every level of the multilevel hierarchy. One bscratch serves one Bisect
+// call — it is never shared across goroutines, so concurrent partitioner
+// invocations (the parallel evaluation fan-out) stay race-free.
+type bscratch struct {
+	match    []int
+	order    []int
+	incident []int64
+	cands    []cand
+	inOne    []bool
 }
 
-func (o Options) maxPasses() int {
-	if o.MaxPasses <= 0 {
-		return 8
+// ints returns s resized to n, zeroed.
+func (sc *bscratch) ints(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
 	}
-	return o.MaxPasses
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // Bisect splits g into parts 0 and 1, minimizing cut weight subject to the
@@ -72,7 +86,7 @@ func Bisect(g *Graph, opts Options) ([]int, error) {
 	if g.Len() == 0 {
 		return nil, nil
 	}
-	part := bisectRec(g, opts, 0)
+	part := bisectRec(&bscratch{}, g, opts, 0)
 	return part, nil
 }
 
@@ -83,11 +97,11 @@ type level struct {
 	finer *level
 }
 
-func bisectRec(g *Graph, opts Options, depth int) []int {
+func bisectRec(sc *bscratch, g *Graph, opts Options, depth int) []int {
 	// Coarsen.
 	cur := &level{g: g}
 	for cur.g.Len() > opts.coarseTarget() && depth < 64 {
-		next, cmap, shrunk := coarsen(cur.g)
+		next, cmap, shrunk := coarsen(sc, cur.g)
 		if !shrunk {
 			break
 		}
@@ -99,7 +113,7 @@ func bisectRec(g *Graph, opts Options, depth int) []int {
 	// different seeds, each refined; keep the best by (balance violation,
 	// cut weight) — the standard multi-start used by multilevel
 	// partitioners.
-	part := bestInitial(cur.g, opts)
+	part := bestInitial(sc, cur.g, opts)
 	// Uncoarsen, projecting and refining.
 	for cur.finer != nil {
 		fine := cur.finer
@@ -109,14 +123,16 @@ func bisectRec(g *Graph, opts Options, depth int) []int {
 		}
 		part = fpart
 		cur = fine
-		refine(cur.g, part, opts)
+		refine(sc, cur.g, part, opts)
 	}
 	return part
 }
 
 // coarsen performs one round of heavy-edge matching and returns the coarse
 // graph, the fine-to-coarse map, and whether the graph actually shrank.
-func coarsen(g *Graph) (*Graph, []int, bool) {
+// The matching tables come from sc; the coarse graph and fine-to-coarse map
+// are freshly allocated (the multilevel hierarchy retains them).
+func coarsen(sc *bscratch, g *Graph) (*Graph, []int, bool) {
 	n := g.Len()
 	total := g.TotalW()
 	// Limit merged node weight so coarse nodes stay partitionable.
@@ -124,14 +140,21 @@ func coarsen(g *Graph) (*Graph, []int, bool) {
 	for d, t := range total {
 		maxW[d] = t/3 + 1
 	}
-	match := make([]int, n)
+	sc.match = sc.ints(sc.match, n)
+	match := sc.match
 	for i := range match {
 		match[i] = -1
 	}
 	// Visit nodes in descending order of incident edge weight so heavy
 	// structures merge first; ties break on index for determinism.
-	order := make([]int, n)
-	incident := make([]int64, n)
+	sc.order = sc.ints(sc.order, n)
+	order := sc.order
+	if cap(sc.incident) < n {
+		sc.incident = make([]int64, n)
+	}
+	sc.incident = sc.incident[:n]
+	clear(sc.incident)
+	incident := sc.incident
 	for u := range order {
 		order[u] = u
 		for _, e := range g.Adj[u] {
@@ -222,7 +245,7 @@ func coarsen(g *Graph) (*Graph, []int, bool) {
 	return cg, cmap, true
 }
 
-func bestInitial(g *Graph, opts Options) []int {
+func bestInitial(sc *bscratch, g *Graph, opts Options) []int {
 	total := g.TotalW()
 	violationOf := func(part []int) int64 {
 		pw := PartWeights(g, part, 2)
@@ -240,8 +263,8 @@ func bestInitial(g *Graph, opts Options) []int {
 	var best []int
 	var bestViol, bestCut int64
 	for try := 0; try < 4; try++ {
-		part := initialBisection(g, opts, try)
-		refine(g, part, opts)
+		part := initialBisection(sc, g, opts, try)
+		refine(sc, g, part, opts)
 		viol, cut := violationOf(part), CutWeight(g, part)
 		if best == nil || viol < bestViol || (viol == bestViol && cut < bestCut) {
 			best, bestViol, bestCut = part, viol, cut
@@ -253,7 +276,7 @@ func bestInitial(g *Graph, opts Options) []int {
 // initialBisection grows part 1 greedily from a seed until half the
 // (normalized, combined) weight is collected, honoring fixed nodes. try
 // selects among deterministic seed choices.
-func initialBisection(g *Graph, opts Options, try int) []int {
+func initialBisection(sc *bscratch, g *Graph, opts Options, try int) []int {
 	n := g.Len()
 	part := make([]int, n)
 	total := g.TotalW()
@@ -275,7 +298,14 @@ func initialBisection(g *Graph, opts Options, try int) []int {
 			half += opts.frac(1)
 		}
 	}
-	inOne := make([]bool, n)
+	if cap(sc.inOne) < n {
+		sc.inOne = make([]bool, n)
+	}
+	sc.inOne = sc.inOne[:n]
+	for i := range sc.inOne {
+		sc.inOne[i] = false
+	}
+	inOne := sc.inOne
 	for u, f := range g.Fixed {
 		if f == 1 {
 			inOne[u] = true
@@ -340,9 +370,15 @@ func initialBisection(g *Graph, opts Options, try int) []int {
 	return part
 }
 
+// cand is one positive-gain move candidate of a refinement pass.
+type cand struct {
+	u int
+	g int64
+}
+
 // refine runs FM-style passes moving free nodes between parts to reduce
 // cut weight while keeping (or restoring) balance.
-func refine(g *Graph, part []int, opts Options) {
+func refine(sc *bscratch, g *Graph, part []int, opts Options) {
 	total := g.TotalW()
 	// limit[p][d]: part p's cap on dimension d under its target fraction.
 	limit := make([][]int64, 2)
@@ -391,11 +427,7 @@ func refine(g *Graph, part []int, opts Options) {
 	for pass := 0; pass < opts.maxPasses(); pass++ {
 		moved := false
 		// Positive-gain, balance-respecting moves in descending gain order.
-		type cand struct {
-			u int
-			g int64
-		}
-		var cands []cand
+		cands := sc.cands[:0]
 		for u := 0; u < g.Len(); u++ {
 			if g.Fixed[u] != -1 {
 				continue
@@ -410,6 +442,7 @@ func refine(g *Graph, part []int, opts Options) {
 			}
 			return cands[i].u < cands[j].u
 		})
+		sc.cands = cands
 		for _, c := range cands {
 			if gain(c.u) <= 0 { // may have changed after earlier moves
 				continue

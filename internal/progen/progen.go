@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+
+	"mcpart/internal/defaults"
 )
 
 // Options bounds the generated program.
@@ -26,17 +28,10 @@ type Options struct {
 	MaxLoopTrip  int // default 12
 }
 
-func (o Options) globals() int { return defInt(o.MaxGlobals, 6) }
-func (o Options) funcs() int   { return defInt(o.MaxFuncs, 4) }
-func (o Options) depth() int   { return defInt(o.MaxStmtDepth, 3) }
-func (o Options) trip() int    { return defInt(o.MaxLoopTrip, 12) }
-
-func defInt(v, d int) int {
-	if v <= 0 {
-		return d
-	}
-	return v
-}
+func (o Options) globals() int { return defaults.Int(o.MaxGlobals, 6) }
+func (o Options) funcs() int   { return defaults.Int(o.MaxFuncs, 4) }
+func (o Options) depth() int   { return defaults.Int(o.MaxStmtDepth, 3) }
+func (o Options) trip() int    { return defaults.Int(o.MaxLoopTrip, 12) }
 
 // Generate returns a deterministic random mclang program for the seed.
 func Generate(seed int64, opts Options) string {

@@ -1,0 +1,24 @@
+package rhop
+
+import "testing"
+
+// TestOptionDefaults pins the documented defaults behind the repository's
+// option convention (see internal/defaults): a zero or negative knob
+// selects the default, any positive value wins.
+func TestOptionDefaults(t *testing.T) {
+	var zero Options
+	if got := zero.passes(); got != 4 {
+		t.Errorf("zero RefinePasses -> %d, want 4", got)
+	}
+	if got := zero.tol(); got != 0.4 {
+		t.Errorf("zero BalanceTol -> %v, want 0.4", got)
+	}
+	neg := Options{RefinePasses: -2, BalanceTol: -0.5}
+	if neg.passes() != 4 || neg.tol() != 0.4 {
+		t.Error("negative knobs must select the defaults")
+	}
+	set := Options{RefinePasses: 2, BalanceTol: 0.2}
+	if set.passes() != 2 || set.tol() != 0.2 {
+		t.Error("positive knobs must win over the defaults")
+	}
+}

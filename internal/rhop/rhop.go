@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"mcpart/internal/cfg"
+	"mcpart/internal/defaults"
 	"mcpart/internal/interp"
 	"mcpart/internal/ir"
 	"mcpart/internal/machine"
@@ -56,18 +57,18 @@ type Options struct {
 	PairRefine bool
 }
 
-func (o Options) passes() int {
-	if o.RefinePasses <= 0 {
-		return 4
-	}
-	return o.RefinePasses
-}
+func (o Options) passes() int  { return defaults.Int(o.RefinePasses, 4) }
+func (o Options) tol() float64 { return defaults.Float(o.BalanceTol, 0.4) }
 
-func (o Options) tol() float64 {
-	if o.BalanceTol <= 0 {
-		return 0.4
-	}
-	return o.BalanceTol
+// scratch bundles the reusable working memory one PartitionFunc call (and
+// therefore one worker goroutine) owns: the list scheduler's node tables,
+// the value-home buffer, and the schedule estimator's dense tables. It is
+// created per call — never shared, never global — so concurrent
+// PartitionFunc calls stay race-free.
+type scratch struct {
+	sched *sched.Scratch
+	home  sched.HomeScratch
+	est   estScratch
 }
 
 // PartitionFunc assigns every op of f to a cluster. prof supplies block
@@ -88,6 +89,7 @@ func PartitionFunc(f *ir.Func, prof *interp.Profile, mcfg *machine.Config, locks
 	ops := f.OpsByID()
 	lc := sched.NewLoopCtx(f)
 	regions := cfg.FormRegions(f)
+	sc := &scratch{sched: sched.NewScratch()}
 	// Partition the hottest regions first: inner loops choose their layout
 	// freely and colder surrounding code anchors to those decisions, not
 	// the other way around.
@@ -97,7 +99,7 @@ func PartitionFunc(f *ir.Func, prof *interp.Profile, mcfg *machine.Config, locks
 		return regionHeat(prof, order[i]) > regionHeat(prof, order[j])
 	})
 	for _, region := range order {
-		if err := partitionRegion(f, region, du, ops, lc, prof, mcfg, locks, opts, asg); err != nil {
+		if err := partitionRegion(sc, f, region, du, ops, lc, prof, mcfg, locks, opts, asg); err != nil {
 			return nil, err
 		}
 	}
@@ -150,7 +152,7 @@ func blockFreq(prof *interp.Profile, b *ir.Block) int64 {
 	return 1
 }
 
-func partitionRegion(f *ir.Func, region *cfg.Region, du *cfg.DefUse, ops []*ir.Op,
+func partitionRegion(sc *scratch, f *ir.Func, region *cfg.Region, du *cfg.DefUse, ops []*ir.Op,
 	lc *sched.LoopCtx, prof *interp.Profile, mcfg *machine.Config, locks Locks, opts Options, asg []int) error {
 
 	k := mcfg.NumClusters()
@@ -270,16 +272,16 @@ func partitionRegion(f *ir.Func, region *cfg.Region, du *cfg.DefUse, ops []*ir.O
 	var best map[int]int
 	bestCost := int64(-1)
 	consider := func() {
-		if cost := realRegionCost(f, region, lc, prof, mcfg, asg); bestCost < 0 || cost < bestCost {
+		if cost := realRegionCost(sc, f, region, lc, prof, mcfg, asg); bestCost < 0 || cost < bestCost {
 			best = snapshotRegion(regionOps, asg)
 			bestCost = cost
 		}
 	}
 	apply(func(i int, op *ir.Op) int { return part[i] })
 	consider()
-	refineRegion(f, region, lc, prof, mcfg, locks, opts, asg)
+	refineRegion(sc, f, region, lc, prof, mcfg, locks, opts, asg)
 	if opts.PairRefine {
-		pairRefineRegion(f, region, du, lc, prof, mcfg, locks, opts, asg)
+		pairRefineRegion(sc, f, region, du, lc, prof, mcfg, locks, opts, asg)
 	}
 	consider()
 
@@ -301,7 +303,7 @@ func partitionRegion(f *ir.Func, region *cfg.Region, du *cfg.DefUse, ops []*ir.O
 		}
 		apply(func(int, *ir.Op) int { return c })
 		consider() // the pure single-cluster layout, before refinement
-		refineRegion(f, region, lc, prof, mcfg, locks, opts, asg)
+		refineRegion(sc, f, region, lc, prof, mcfg, locks, opts, asg)
 		consider()
 	}
 	for _, op := range regionOps {
@@ -314,15 +316,15 @@ func partitionRegion(f *ir.Func, region *cfg.Region, du *cfg.DefUse, ops []*ir.O
 // estimate guides the inner refinement loop; the final choice between
 // refined candidates uses real schedule lengths so estimate error cannot
 // pick a partition the machine executes badly).
-func realRegionCost(f *ir.Func, region *cfg.Region, lc *sched.LoopCtx, prof *interp.Profile,
+func realRegionCost(sc *scratch, f *ir.Func, region *cfg.Region, lc *sched.LoopCtx, prof *interp.Profile,
 	mcfg *machine.Config, asg []int) int64 {
 
-	home := sched.HomeClustersFreq(f, asg, mcfg.NumClusters(), func(b *ir.Block) int64 {
+	home := sc.home.HomeClustersFreq(f, asg, mcfg.NumClusters(), func(b *ir.Block) int64 {
 		return blockFreq(prof, b)
 	})
 	var total int64
 	for _, b := range region.Blocks {
-		res, _ := sched.ScheduleBlockCtx(b, asg, home, lc, mcfg)
+		res, _ := sc.sched.ScheduleBlockCtx(b, asg, home, lc, mcfg)
 		total += blockFreq(prof, b) * int64(res.Length)
 	}
 	return total
@@ -421,7 +423,7 @@ func computeSlack(region *cfg.Region, du *cfg.DefUse, ops []*ir.Op, mcfg *machin
 // region's unlocked ops in deterministic order and migrates an op to the
 // cluster minimizing the region's estimated cost, keeping strict
 // improvements only.
-func refineRegion(f *ir.Func, region *cfg.Region, lc *sched.LoopCtx, prof *interp.Profile,
+func refineRegion(sc *scratch, f *ir.Func, region *cfg.Region, lc *sched.LoopCtx, prof *interp.Profile,
 	mcfg *machine.Config, locks Locks, opts Options, asg []int) {
 
 	k := mcfg.NumClusters()
@@ -435,7 +437,7 @@ func refineRegion(f *ir.Func, region *cfg.Region, lc *sched.LoopCtx, prof *inter
 	}
 	sort.Slice(regionOps, func(i, j int) bool { return regionOps[i].ID < regionOps[j].ID })
 
-	cost := func() int64 { return estimateRegionCost(f, region, lc, prof, mcfg, asg) }
+	cost := func() int64 { return estimateRegionCostScratch(sc, f, region, lc, prof, mcfg, asg) }
 	cur := cost()
 	for pass := 0; pass < opts.passes(); pass++ {
 		improved := false
@@ -469,7 +471,7 @@ func refineRegion(f *ir.Func, region *cfg.Region, lc *sched.LoopCtx, prof *inter
 // pairRefineRegion moves pairs of ops joined by their heaviest dependence
 // edge between clusters together, accepting strict estimate improvements.
 // This emulates a coarser level of RHOP's uncoarsening hierarchy.
-func pairRefineRegion(f *ir.Func, region *cfg.Region, du *cfg.DefUse, lc *sched.LoopCtx,
+func pairRefineRegion(sc *scratch, f *ir.Func, region *cfg.Region, du *cfg.DefUse, lc *sched.LoopCtx,
 	prof *interp.Profile, mcfg *machine.Config, locks Locks, opts Options, asg []int) {
 
 	k := mcfg.NumClusters()
@@ -509,7 +511,7 @@ func pairRefineRegion(f *ir.Func, region *cfg.Region, du *cfg.DefUse, lc *sched.
 			}
 		}
 	}
-	cur := estimateRegionCost(f, region, lc, prof, mcfg, asg)
+	cur := estimateRegionCostScratch(sc, f, region, lc, prof, mcfg, asg)
 	for pass := 0; pass < 2; pass++ {
 		improved := false
 		for _, pr := range pairs {
@@ -520,7 +522,7 @@ func pairRefineRegion(f *ir.Func, region *cfg.Region, du *cfg.DefUse, lc *sched.
 					continue
 				}
 				asg[pr.a], asg[pr.b] = c, c
-				if nc := estimateRegionCost(f, region, lc, prof, mcfg, asg); nc < bestCost {
+				if nc := estimateRegionCostScratch(sc, f, region, lc, prof, mcfg, asg); nc < bestCost {
 					bestA, bestB, bestCost = c, c, nc
 				}
 			}
@@ -542,49 +544,99 @@ func pairRefineRegion(f *ir.Func, region *cfg.Region, du *cfg.DefUse, lc *sched.
 // bus bound, and the dependence-critical path including move latencies.
 func EstimateRegionCost(f *ir.Func, region *cfg.Region, prof *interp.Profile,
 	mcfg *machine.Config, asg []int) int64 {
-	return estimateRegionCost(f, region, sched.NewLoopCtx(f), prof, mcfg, asg)
+	return estimateRegionCostScratch(&scratch{}, f, region, sched.NewLoopCtx(f), prof, mcfg, asg)
 }
 
-func estimateRegionCost(f *ir.Func, region *cfg.Region, lc *sched.LoopCtx, prof *interp.Profile,
-	mcfg *machine.Config, asg []int) int64 {
+func estimateRegionCostScratch(sc *scratch, f *ir.Func, region *cfg.Region, lc *sched.LoopCtx,
+	prof *interp.Profile, mcfg *machine.Config, asg []int) int64 {
 
-	home := sched.HomeClustersFreq(f, asg, mcfg.NumClusters(), func(b *ir.Block) int64 {
+	home := sc.home.HomeClustersFreq(f, asg, mcfg.NumClusters(), func(b *ir.Block) int64 {
 		return blockFreq(prof, b)
 	})
 	var total int64
 	for _, b := range region.Blocks {
-		total += blockFreq(prof, b) * EstimateBlockLen(b, asg, home, lc, mcfg)
+		total += blockFreq(prof, b) * sc.est.blockLen(b, asg, home, lc, mcfg)
 	}
 	return total
+}
+
+// estScratch is the schedule estimator's reusable working memory: dense
+// tables indexed by op ID, register, and (source entity, cluster) move key,
+// generation-stamped so a new call starts fresh in O(1). The estimator runs
+// once per candidate move of the refinement loops — the single hottest path
+// of the whole pipeline — so it allocates nothing after warm-up.
+type estScratch struct {
+	gen   int64
+	ready []int64 // by op ID: completion time estimate (valid when the
+	// register's defGen stamp is current — a def is always estimated
+	// before any of its uses)
+	lastDef []int // by register: op ID of latest def
+	defGen  []int64
+	counts  []int   // [cluster][kind] flattened; zeroed per call
+	moveSrc []int   // by move key: source cluster
+	moveGen []int64 // by move key
+	touched []int   // move keys recorded this call, in first-touch order
+}
+
+// prepare sizes the tables for f on a k-cluster machine and starts a new
+// generation.
+func (es *estScratch) prepare(f *ir.Func, k int) {
+	if len(es.ready) < f.NOps {
+		es.ready = make([]int64, f.NOps)
+	}
+	if len(es.lastDef) < f.NRegs {
+		es.lastDef = make([]int, f.NRegs)
+		es.defGen = make([]int64, f.NRegs)
+	}
+	if n := k * int(machine.NumFUKinds); len(es.counts) < n {
+		es.counts = make([]int, n)
+	} else {
+		clear(es.counts[:n])
+	}
+	// Move keys: (def op ID, cluster) or (NOps + reg, cluster).
+	if n := (f.NOps + f.NRegs) * k; len(es.moveSrc) < n {
+		es.moveSrc = make([]int, n)
+		es.moveGen = make([]int64, n)
+	}
+	es.touched = es.touched[:0]
+	es.gen++
 }
 
 // EstimateBlockLen is the schedule-length estimate for one block. It tracks
 // the list scheduler's three limiting factors but ignores second-order
 // interactions, which keeps refinement fast.
 func EstimateBlockLen(b *ir.Block, asg []int, home []int, lc *sched.LoopCtx, mcfg *machine.Config) int64 {
+	var es estScratch
+	return es.blockLen(b, asg, home, lc, mcfg)
+}
+
+func (es *estScratch) blockLen(b *ir.Block, asg []int, home []int, lc *sched.LoopCtx, mcfg *machine.Config) int64 {
 	k := mcfg.NumClusters()
-	// Resource bound.
-	counts := make([][]int, k)
-	for c := range counts {
-		counts[c] = make([]int, machine.NumFUKinds)
+	f := b.Func
+	es.prepare(f, k)
+	addMove := func(entity, to, src int) {
+		key := entity*k + to
+		if es.moveGen[key] != es.gen {
+			es.moveGen[key] = es.gen
+			es.touched = append(es.touched, key)
+		}
+		es.moveSrc[key] = src
 	}
-	moves := map[[2]int]int{} // (def op ID or ^reg, to cluster) -> source cluster
-	lastDef := map[ir.VReg]int{}
-	ready := map[int]int64{} // op ID -> completion time estimate
 	var length int64 = 1
 	for _, op := range b.Ops {
 		c := asg[op.ID]
-		counts[c][machine.KindOf(op.Opcode)]++
+		es.counts[c*int(machine.NumFUKinds)+int(machine.KindOf(op.Opcode))]++
 		var start int64
 		for _, a := range op.Args {
 			if !a.IsReg() {
 				continue
 			}
-			if d, ok := lastDef[a.Reg]; ok {
-				t := ready[d]
-				if asg[d] != c {
-					moves[[2]int{d, c}] = asg[d]
-					t += int64(mcfg.MoveLat(asg[d], c))
+			if d := int(a.Reg); es.defGen[d] == es.gen {
+				def := es.lastDef[d]
+				t := es.ready[def]
+				if asg[def] != c {
+					addMove(def, c, asg[def])
+					t += int64(mcfg.MoveLat(asg[def], c))
 				}
 				if t > start {
 					start = t
@@ -592,7 +644,7 @@ func EstimateBlockLen(b *ir.Block, asg []int, home []int, lc *sched.LoopCtx, mcf
 			} else if int(a.Reg) < len(home) {
 				if hc := home[a.Reg]; hc != sched.EverywhereHome && hc != c &&
 					!(lc != nil && lc.FreeLiveIn(b, a.Reg)) {
-					moves[[2]int{^int(a.Reg), c}] = hc
+					addMove(f.NOps+int(a.Reg), c, hc)
 					if t := int64(mcfg.MoveLat(hc, c)); t > start {
 						start = t
 					}
@@ -600,33 +652,35 @@ func EstimateBlockLen(b *ir.Block, asg []int, home []int, lc *sched.LoopCtx, mcf
 			}
 		}
 		done := start + int64(machine.Latency(op.Opcode))
-		ready[op.ID] = done
+		es.ready[op.ID] = done
 		if done > length {
 			length = done
 		}
 		if op.Dst != ir.NoReg {
-			lastDef[op.Dst] = op.ID
+			es.defGen[op.Dst] = es.gen
+			es.lastDef[op.Dst] = op.ID
 		}
 	}
 	// Moves occupy an integer-unit issue slot on their sending cluster.
-	for _, src := range moves {
-		counts[src][machine.FUInt]++
+	for _, key := range es.touched {
+		es.counts[es.moveSrc[key]*int(machine.NumFUKinds)+int(machine.FUInt)]++
 	}
 	for c := 0; c < k; c++ {
 		for kind := machine.FUKind(0); kind < machine.NumFUKinds; kind++ {
-			if counts[c][kind] == 0 {
+			cnt := es.counts[c*int(machine.NumFUKinds)+int(kind)]
+			if cnt == 0 {
 				continue
 			}
 			units := mcfg.Units(c, kind)
 			if units == 0 {
 				units = 1
 			}
-			if rb := int64((counts[c][kind] + units - 1) / units); rb > length {
+			if rb := int64((cnt + units - 1) / units); rb > length {
 				length = rb
 			}
 		}
 	}
-	if n := len(moves); n > 0 {
+	if n := len(es.touched); n > 0 {
 		if bb := int64((n+mcfg.MoveBandwidth-1)/mcfg.MoveBandwidth) + int64(mcfg.MoveLatency); bb > length {
 			length = bb
 		}

@@ -19,11 +19,13 @@ import (
 // It returns nil for a valid schedule; the test suite runs it over every
 // benchmark block under every scheme as a scheduler self-check.
 func CheckBlock(b *ir.Block, asg []int, home []int, lc *LoopCtx, cfg *machine.Config) error {
-	nodes, _ := buildNodes(b, asg, home, lc, cfg)
+	sc := NewScratch()
+	sc.buildNodes(b, asg, home, lc, cfg)
+	nodes := sc.nodes
 	if len(nodes) == 0 {
 		return nil
 	}
-	length := listSchedule(nodes, cfg)
+	length := sc.listSchedule(cfg)
 
 	// Resource and bus usage.
 	type slotKey struct {

@@ -29,13 +29,14 @@ type BlockSchedule struct {
 // MaterializeBlock runs the list scheduler and returns the full schedule
 // (ScheduleBlock returns only the summary).
 func MaterializeBlock(b *ir.Block, asg []int, home []int, lc *LoopCtx, cfg *machine.Config) *BlockSchedule {
-	nodes, _ := buildNodes(b, asg, home, lc, cfg)
+	sc := NewScratch()
+	sc.buildNodes(b, asg, home, lc, cfg)
 	bs := &BlockSchedule{Block: b, Length: 1}
-	if len(nodes) == 0 {
+	if len(sc.nodes) == 0 {
 		return bs
 	}
-	bs.Length = listSchedule(nodes, cfg)
-	for _, n := range nodes {
+	bs.Length = sc.listSchedule(cfg)
+	for _, n := range sc.nodes {
 		bs.Slots = append(bs.Slots, Slot{
 			Cycle:   n.start,
 			Cluster: n.cluster,

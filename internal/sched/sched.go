@@ -20,6 +20,15 @@ import (
 // (used for function parameters, whose transfer the model does not charge).
 const EverywhereHome = -1
 
+// HomeScratch is the reusable working memory of HomeClustersFreq. The
+// partition refiners recompute value homes after every candidate move, so
+// the per-call allocations add up; a HomeScratch amortizes them. Not safe
+// for concurrent use — each worker goroutine owns its own.
+type HomeScratch struct {
+	counts []int64 // reg-major [reg*numClusters + cluster] def weights
+	home   []int
+}
+
 // HomeClusters computes, per virtual register of f, the cluster a value
 // lives on at block boundaries: the dominant cluster among the register's
 // defining operations, weighted by execution frequency when freq is
@@ -32,7 +41,21 @@ func HomeClusters(f *ir.Func, asg []int, numClusters int) []int {
 
 // HomeClustersFreq is HomeClusters with frequency-weighted defs.
 func HomeClustersFreq(f *ir.Func, asg []int, numClusters int, freq func(*ir.Block) int64) []int {
-	counts := make([][]int64, f.NRegs)
+	var hs HomeScratch
+	return hs.HomeClustersFreq(f, asg, numClusters, freq)
+}
+
+// HomeClustersFreq computes into the scratch's buffers; the returned slice
+// is owned by the scratch and valid only until the next call.
+func (hs *HomeScratch) HomeClustersFreq(f *ir.Func, asg []int, numClusters int, freq func(*ir.Block) int64) []int {
+	n := f.NRegs * numClusters
+	if cap(hs.counts) < n {
+		hs.counts = make([]int64, n)
+	} else {
+		hs.counts = hs.counts[:n]
+		clear(hs.counts)
+	}
+	counts := hs.counts
 	for _, b := range f.Blocks {
 		w := int64(1)
 		if freq != nil {
@@ -46,19 +69,21 @@ func HomeClustersFreq(f *ir.Func, asg []int, numClusters int, freq func(*ir.Bloc
 				// no home; such values count as available everywhere.
 				continue
 			}
-			if counts[op.Dst] == nil {
-				counts[op.Dst] = make([]int64, numClusters)
-			}
-			counts[op.Dst][asg[op.ID]] += w
+			counts[int(op.Dst)*numClusters+asg[op.ID]] += w
 		}
 	}
-	home := make([]int, f.NRegs)
+	if cap(hs.home) < f.NRegs {
+		hs.home = make([]int, f.NRegs)
+	} else {
+		hs.home = hs.home[:f.NRegs]
+	}
+	home := hs.home
 	for r := range home {
 		home[r] = EverywhereHome
 		var best int64
-		for c, n := range counts[r] {
-			if n > best {
-				best = n
+		for c, cnt := range counts[r*numClusters : (r+1)*numClusters] {
+			if cnt > best {
+				best = cnt
 				home[r] = c
 			}
 		}
@@ -81,13 +106,91 @@ type node struct {
 	isMove  bool
 	preds   []dep
 	prio    int64
-	nsuccs  int
 	start   int
 }
 
 type dep struct {
 	from int // node index
 	lat  int
+}
+
+// moveKey identifies one cached intercluster move: per source (local def
+// node, or live-in register) and destination cluster.
+type moveKey struct {
+	srcNode int // -1 when the source is a live-in register
+	reg     ir.VReg
+	to      int
+}
+
+// Scratch holds the list scheduler's reusable working memory. The
+// evaluation pipeline schedules the same handful of blocks thousands of
+// times while refining partitions, and allocating the node and resource
+// tables fresh on every call dominated the profile; a Scratch amortizes
+// them across calls. There is deliberately no package-level pool: a
+// Scratch is not safe for concurrent use, so each worker goroutine of the
+// parallel evaluation layers owns its own, keeping the hot paths
+// race-free by construction.
+type Scratch struct {
+	nodes []node // arena; preds capacity survives reuse
+
+	// buildNodes tables, dense by virtual register and generation-stamped
+	// so resetting costs O(1) instead of O(NRegs) per block.
+	gen       int64
+	defGen    []int64
+	lastDef   []int
+	useGen    []int64
+	lastUses  [][]int
+	memNodes  []int
+	moveIdx   map[moveKey]int
+	hoistSeen map[[2]int]bool
+
+	// listSchedule tables.
+	succs    [][]dep
+	npreds   []int
+	earliest []int
+	done     []bool
+	indeg    []int
+	order    []int
+	ready    []int
+	usage    []int // [cycle][cluster][kind] flattened
+	bus      []int // moves issued per cycle
+
+	home HomeScratch
+}
+
+// NewScratch returns an empty scratch; buffers grow on demand and are
+// reused by subsequent calls.
+func NewScratch() *Scratch {
+	return &Scratch{
+		moveIdx:   map[moveKey]int{},
+		hoistSeen: map[[2]int]bool{},
+	}
+}
+
+// newNode appends a zeroed node to the arena, preserving the pred-slice
+// capacity left over from earlier blocks.
+func (sc *Scratch) newNode() int {
+	if len(sc.nodes) < cap(sc.nodes) {
+		sc.nodes = sc.nodes[:len(sc.nodes)+1]
+		nd := &sc.nodes[len(sc.nodes)-1]
+		preds := nd.preds[:0]
+		*nd = node{preds: preds}
+	} else {
+		sc.nodes = append(sc.nodes, node{})
+	}
+	return len(sc.nodes) - 1
+}
+
+// regTables sizes the per-register tables for f and starts a fresh
+// generation.
+func (sc *Scratch) regTables(f *ir.Func) {
+	if len(sc.defGen) < f.NRegs {
+		sc.defGen = make([]int64, f.NRegs)
+		sc.lastDef = make([]int, f.NRegs)
+		sc.useGen = make([]int64, f.NRegs)
+		sc.lastUses = make([][]int, f.NRegs)
+	}
+	sc.gen++
 }
 
 // ScheduleBlock schedules block b under assignment asg (op ID -> cluster
@@ -104,6 +207,12 @@ func ScheduleBlock(b *ir.Block, asg []int, home []int, cfg *machine.Config) Bloc
 // loop entry (the returned HoistedMoves) instead of re-sent every
 // iteration. A nil LoopCtx disables hoisting.
 func ScheduleBlockCtx(b *ir.Block, asg []int, home []int, lc *LoopCtx, cfg *machine.Config) (BlockResult, []HoistedMove) {
+	return NewScratch().ScheduleBlockCtx(b, asg, home, lc, cfg)
+}
+
+// ScheduleBlockCtx is the scratch-reusing form of the package function; it
+// produces bit-identical results.
+func (sc *Scratch) ScheduleBlockCtx(b *ir.Block, asg []int, home []int, lc *LoopCtx, cfg *machine.Config) (BlockResult, []HoistedMove) {
 	for _, op := range b.Ops {
 		c := asg[op.ID]
 		if k := machine.KindOf(op.Opcode); cfg.Units(c, k) == 0 {
@@ -111,82 +220,93 @@ func ScheduleBlockCtx(b *ir.Block, asg []int, home []int, lc *LoopCtx, cfg *mach
 				k.String() + " with zero units of its kind")
 		}
 	}
-	nodes, hoisted := buildNodes(b, asg, home, lc, cfg)
-	if len(nodes) == 0 {
+	hoisted := sc.buildNodes(b, asg, home, lc, cfg)
+	if len(sc.nodes) == 0 {
 		return BlockResult{Length: 1}, hoisted
 	}
-	length := listSchedule(nodes, cfg)
+	length := sc.listSchedule(cfg)
 	moves := 0
-	for _, n := range nodes {
-		if n.isMove {
+	for i := range sc.nodes {
+		if sc.nodes[i].isMove {
 			moves++
 		}
 	}
 	return BlockResult{Length: length, Moves: moves}, hoisted
 }
 
-func buildNodes(b *ir.Block, asg []int, home []int, lc *LoopCtx, cfg *machine.Config) ([]*node, []HoistedMove) {
+// buildNodes fills sc.nodes with b's ops plus the intercluster moves the
+// assignment requires, and returns the hoisted loop-invariant copies.
+func (sc *Scratch) buildNodes(b *ir.Block, asg []int, home []int, lc *LoopCtx, cfg *machine.Config) []HoistedMove {
+	sc.nodes = sc.nodes[:0]
+	sc.memNodes = sc.memNodes[:0]
+	if sc.moveIdx == nil {
+		sc.moveIdx = map[moveKey]int{}
+		sc.hoistSeen = map[[2]int]bool{}
+	}
+	clear(sc.moveIdx)
+	clear(sc.hoistSeen)
+	sc.regTables(b.Func)
+
 	var hoisted []HoistedMove
-	hoistSeen := map[[2]int]bool{}
-	var nodes []*node
-	idxOf := make(map[*ir.Op]int, len(b.Ops))
+	// Node i of the first len(b.Ops) entries is b.Ops[i]; moves follow.
 	for _, op := range b.Ops {
-		idxOf[op] = len(nodes)
-		nodes = append(nodes, &node{
-			op:      op,
-			cluster: asg[op.ID],
-			kind:    machine.KindOf(op.Opcode),
-			lat:     machine.Latency(op.Opcode),
-		})
+		i := sc.newNode()
+		nd := &sc.nodes[i]
+		nd.op = op
+		nd.cluster = asg[op.ID]
+		nd.kind = machine.KindOf(op.Opcode)
+		nd.lat = machine.Latency(op.Opcode)
 	}
 	addDep := func(to, from, lat int) {
-		nodes[to].preds = append(nodes[to].preds, dep{from: from, lat: lat})
+		sc.nodes[to].preds = append(sc.nodes[to].preds, dep{from: from, lat: lat})
 	}
-
 	// Value flow with move insertion. moveIdx caches one move per source
 	// (local def node, or live-in register) and destination cluster.
-	type moveKey struct {
-		srcNode int // -1 when the source is a live-in register
-		reg     ir.VReg
-		to      int
-	}
-	moveIdx := map[moveKey]int{}
 	getMove := func(k moveKey, srcCluster, srcLat int) int {
-		if mi, ok := moveIdx[k]; ok {
+		if mi, ok := sc.moveIdx[k]; ok {
 			return mi
 		}
-		mi := len(nodes)
-		nodes = append(nodes, &node{
-			cluster: srcCluster, // moves issue on the sending cluster
-			kind:    machine.FUInt,
-			lat:     cfg.MoveLat(srcCluster, k.to),
-			isMove:  true,
-		})
+		mi := sc.newNode()
+		nd := &sc.nodes[mi]
+		nd.cluster = srcCluster // moves issue on the sending cluster
+		nd.kind = machine.FUInt
+		nd.lat = cfg.MoveLat(srcCluster, k.to)
+		nd.isMove = true
 		if k.srcNode >= 0 {
 			addDep(mi, k.srcNode, srcLat)
 		}
-		moveIdx[k] = mi
+		sc.moveIdx[k] = mi
 		return mi
 	}
 
-	lastDef := map[ir.VReg]int{}    // reg -> node of latest local def
-	lastUses := map[ir.VReg][]int{} // reg -> nodes using it since last def
-	var memNodes []int              // loads/stores/mallocs/calls in order
+	// lastDef/lastUses are generation-stamped: a stale stamp means "no
+	// entry", replacing the per-block map allocations.
+	defOf := func(r ir.VReg) (int, bool) {
+		if sc.defGen[r] == sc.gen {
+			return sc.lastDef[r], true
+		}
+		return 0, false
+	}
+	usesOf := func(r ir.VReg) []int {
+		if sc.useGen[r] == sc.gen {
+			return sc.lastUses[r]
+		}
+		return nil
+	}
 
-	for _, op := range b.Ops {
-		ni := idxOf[op]
-		uc := nodes[ni].cluster
+	for ni, op := range b.Ops {
+		uc := sc.nodes[ni].cluster
 		for _, a := range op.Args {
 			if !a.IsReg() {
 				continue
 			}
-			if d, ok := lastDef[a.Reg]; ok {
+			if d, ok := defOf(a.Reg); ok {
 				// Local flow dependence.
-				dc := nodes[d].cluster
+				dc := sc.nodes[d].cluster
 				if dc == uc {
-					addDep(ni, d, nodes[d].lat)
+					addDep(ni, d, sc.nodes[d].lat)
 				} else {
-					mi := getMove(moveKey{srcNode: d, to: uc}, dc, nodes[d].lat)
+					mi := getMove(moveKey{srcNode: d, to: uc}, dc, sc.nodes[d].lat)
 					addDep(ni, mi, cfg.MoveLat(dc, uc))
 				}
 			} else {
@@ -200,8 +320,8 @@ func buildNodes(b *ir.Block, asg []int, home []int, lc *LoopCtx, cfg *machine.Co
 						// Delivered once per loop entry, not per
 						// iteration.
 						key := [2]int{int(a.Reg), uc}
-						if !hoistSeen[key] {
-							hoistSeen[key] = true
+						if !sc.hoistSeen[key] {
+							sc.hoistSeen[key] = true
 							hoisted = append(hoisted, HoistedMove{
 								Loop: lc.InnermostLoop(b), Reg: a.Reg, To: uc,
 							})
@@ -212,33 +332,39 @@ func buildNodes(b *ir.Block, asg []int, home []int, lc *LoopCtx, cfg *machine.Co
 					}
 				}
 			}
-			lastUses[a.Reg] = append(lastUses[a.Reg], ni)
+			if sc.useGen[a.Reg] != sc.gen {
+				sc.useGen[a.Reg] = sc.gen
+				sc.lastUses[a.Reg] = sc.lastUses[a.Reg][:0]
+			}
+			sc.lastUses[a.Reg] = append(sc.lastUses[a.Reg], ni)
 		}
 		if op.Dst != ir.NoReg {
 			// Anti dependences: a redefinition must not issue before prior
 			// uses; output dependence on a prior def of the same register.
-			for _, u := range lastUses[op.Dst] {
+			for _, u := range usesOf(op.Dst) {
 				if u != ni {
 					addDep(ni, u, 0)
 				}
 			}
-			if d, ok := lastDef[op.Dst]; ok && d != ni {
+			if d, ok := defOf(op.Dst); ok && d != ni {
 				addDep(ni, d, 1)
 			}
-			lastDef[op.Dst] = ni
-			lastUses[op.Dst] = nil
+			sc.defGen[op.Dst] = sc.gen
+			sc.lastDef[op.Dst] = ni
+			sc.useGen[op.Dst] = sc.gen
+			sc.lastUses[op.Dst] = sc.lastUses[op.Dst][:0]
 		}
 		// Memory and call ordering.
 		if op.Opcode.IsMem() || op.Opcode == ir.OpCall {
-			for _, pj := range memNodes {
-				if memConflict(nodes[pj].op, op) {
+			for _, pj := range sc.memNodes {
+				if memConflict(sc.nodes[pj].op, op) {
 					addDep(ni, pj, 1)
 				}
 			}
-			memNodes = append(memNodes, ni)
+			sc.memNodes = append(sc.memNodes, ni)
 		}
 	}
-	return nodes, hoisted
+	return hoisted
 }
 
 // memConflict reports whether two memory/call operations must stay ordered:
@@ -272,86 +398,126 @@ func memConflict(a, b *ir.Op) bool {
 	return false
 }
 
-// listSchedule performs resource-constrained list scheduling over nodes and
-// returns the schedule length.
-func listSchedule(nodes []*node, cfg *machine.Config) int {
-	n := len(nodes)
-	succs := make([][]dep, n)
-	npreds := make([]int, n)
-	for i, nd := range nodes {
-		npreds[i] = len(nd.preds)
+// perNode re-slices an int-like per-node table to n entries.
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// listSchedule performs resource-constrained list scheduling over sc.nodes
+// and returns the schedule length.
+func (sc *Scratch) listSchedule(cfg *machine.Config) int {
+	n := len(sc.nodes)
+	if cap(sc.succs) < n {
+		sc.succs = make([][]dep, n)
+	}
+	sc.succs = sc.succs[:n]
+	for i := range sc.succs {
+		sc.succs[i] = sc.succs[i][:0]
+	}
+	sc.npreds = resizeInts(sc.npreds, n)
+	for i := range sc.nodes {
+		nd := &sc.nodes[i]
+		sc.npreds[i] = len(nd.preds)
 		for _, p := range nd.preds {
-			succs[p.from] = append(succs[p.from], dep{from: i, lat: p.lat})
+			sc.succs[p.from] = append(sc.succs[p.from], dep{from: i, lat: p.lat})
 		}
 	}
 	// Priority: longest path (sum of latencies) from the node to any sink.
-	order := topoOrder(nodes, succs)
+	order := sc.topoOrder()
 	for i := n - 1; i >= 0; i-- {
-		nd := nodes[order[i]]
+		nd := &sc.nodes[order[i]]
 		nd.prio = int64(nd.lat)
-		for _, s := range succs[order[i]] {
-			if p := int64(s.lat) + nodes[s.from].prio; p > nd.prio {
+		for _, s := range sc.succs[order[i]] {
+			if p := int64(s.lat) + sc.nodes[s.from].prio; p > nd.prio {
 				nd.prio = p
 			}
 		}
 	}
 
-	earliest := make([]int, n)
+	sc.earliest = resizeInts(sc.earliest, n)
+	if cap(sc.done) < n {
+		sc.done = make([]bool, n)
+	}
+	sc.done = sc.done[:n]
+	for i := range sc.done {
+		sc.done[i] = false
+	}
 	unscheduled := n
-	scheduled := make([]bool, n)
-	// Resource tables grow on demand: usage[t][cluster][kind], bus[t].
-	var usage [][][]int
-	var bus []int
+
+	// Resource tables grow on demand: usage[t][cluster][kind], bus[t],
+	// flattened and reused across calls (rows are zeroed when re-acquired).
+	stride := cfg.NumClusters() * int(machine.NumFUKinds)
+	sc.usage = sc.usage[:0]
+	sc.bus = sc.bus[:0]
+	cycles := 0
 	ensure := func(t int) {
-		for len(usage) <= t {
-			u := make([][]int, cfg.NumClusters())
-			for c := range u {
-				u[c] = make([]int, machine.NumFUKinds)
+		for cycles <= t {
+			if end := (cycles + 1) * stride; end <= cap(sc.usage) {
+				sc.usage = sc.usage[:end]
+				clear(sc.usage[cycles*stride : end])
+			} else {
+				for i := 0; i < stride; i++ {
+					sc.usage = append(sc.usage, 0)
+				}
 			}
-			usage = append(usage, u)
-			bus = append(bus, 0)
+			if cycles < cap(sc.bus) {
+				sc.bus = sc.bus[:cycles+1]
+				sc.bus[cycles] = 0
+			} else {
+				sc.bus = append(sc.bus, 0)
+			}
+			cycles++
 		}
+	}
+	slot := func(t, cluster int, kind machine.FUKind) *int {
+		return &sc.usage[t*stride+cluster*int(machine.NumFUKinds)+int(kind)]
 	}
 
 	length := 1
 	for t := 0; unscheduled > 0; t++ {
 		ensure(t)
 		// Gather ready nodes.
-		var ready []int
-		for i := range nodes {
-			if !scheduled[i] && npreds[i] == 0 && earliest[i] <= t {
+		ready := sc.ready[:0]
+		for i := range sc.nodes {
+			if !sc.done[i] && sc.npreds[i] == 0 && sc.earliest[i] <= t {
 				ready = append(ready, i)
 			}
 		}
 		sort.Slice(ready, func(a, b int) bool {
-			x, y := nodes[ready[a]], nodes[ready[b]]
+			x, y := &sc.nodes[ready[a]], &sc.nodes[ready[b]]
 			if x.prio != y.prio {
 				return x.prio > y.prio
 			}
 			return ready[a] < ready[b]
 		})
+		sc.ready = ready
 		for _, i := range ready {
-			nd := nodes[i]
-			if usage[t][nd.cluster][nd.kind] >= cfg.Units(nd.cluster, nd.kind) {
+			nd := &sc.nodes[i]
+			if *slot(t, nd.cluster, nd.kind) >= cfg.Units(nd.cluster, nd.kind) {
 				continue
 			}
-			if nd.isMove && bus[t] >= cfg.MoveBandwidth {
+			if nd.isMove && sc.bus[t] >= cfg.MoveBandwidth {
 				continue
 			}
-			usage[t][nd.cluster][nd.kind]++
+			*slot(t, nd.cluster, nd.kind)++
 			if nd.isMove {
-				bus[t]++
+				sc.bus[t]++
 			}
 			nd.start = t
-			scheduled[i] = true
+			sc.done[i] = true
 			unscheduled--
 			if end := t + nd.lat; end > length {
 				length = end
 			}
-			for _, s := range succs[i] {
-				npreds[s.from]--
-				if e := t + s.lat; e > earliest[s.from] {
-					earliest[s.from] = e
+			for _, s := range sc.succs[i] {
+				sc.npreds[s.from]--
+				if e := t + s.lat; e > sc.earliest[s.from] {
+					sc.earliest[s.from] = e
 				}
 			}
 		}
@@ -359,30 +525,30 @@ func listSchedule(nodes []*node, cfg *machine.Config) int {
 	return length
 }
 
-func topoOrder(nodes []*node, succs [][]dep) []int {
-	n := len(nodes)
-	indeg := make([]int, n)
-	for i := range nodes {
-		indeg[i] = len(nodes[i].preds)
+// topoOrder returns sc.nodes in topological order (the order slice doubles
+// as the BFS queue, so the visit order matches a FIFO worklist).
+func (sc *Scratch) topoOrder() []int {
+	n := len(sc.nodes)
+	sc.indeg = resizeInts(sc.indeg, n)
+	for i := range sc.nodes {
+		sc.indeg[i] = len(sc.nodes[i].preds)
 	}
-	var order []int
-	var queue []int
+	order := sc.order[:0]
 	for i := 0; i < n; i++ {
-		if indeg[i] == 0 {
-			queue = append(queue, i)
+		if sc.indeg[i] == 0 {
+			order = append(order, i)
 		}
 	}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		order = append(order, u)
-		for _, s := range succs[u] {
-			indeg[s.from]--
-			if indeg[s.from] == 0 {
-				queue = append(queue, s.from)
+	for head := 0; head < len(order); head++ {
+		u := order[head]
+		for _, s := range sc.succs[u] {
+			sc.indeg[s.from]--
+			if sc.indeg[s.from] == 0 {
+				order = append(order, s.from)
 			}
 		}
 	}
+	sc.order = order
 	return order
 }
 
@@ -411,11 +577,16 @@ func ScheduleFuncCtx(f *ir.Func, asg []int, lc *LoopCtx, cfg *machine.Config) Fu
 // ScheduleFuncFreq additionally weights block-boundary value homes by
 // profile frequency, so hot in-loop definitions dominate cold ones.
 func ScheduleFuncFreq(f *ir.Func, asg []int, lc *LoopCtx, cfg *machine.Config, freq func(*ir.Block) int64) FuncResult {
-	home := HomeClustersFreq(f, asg, cfg.NumClusters(), freq)
+	return NewScratch().ScheduleFuncFreq(f, asg, lc, cfg, freq)
+}
+
+// ScheduleFuncFreq is the scratch-reusing form of the package function.
+func (sc *Scratch) ScheduleFuncFreq(f *ir.Func, asg []int, lc *LoopCtx, cfg *machine.Config, freq func(*ir.Block) int64) FuncResult {
+	home := sc.home.HomeClustersFreq(f, asg, cfg.NumClusters(), freq)
 	res := FuncResult{Blocks: make([]BlockResult, len(f.Blocks)), LC: lc}
 	seen := map[HoistedMove]bool{}
 	for _, b := range f.Blocks {
-		br, hoisted := ScheduleBlockCtx(b, asg, home, lc, cfg)
+		br, hoisted := sc.ScheduleBlockCtx(b, asg, home, lc, cfg)
 		res.Blocks[b.ID] = br
 		for _, h := range hoisted {
 			if !seen[h] {
@@ -432,8 +603,9 @@ func ScheduleFuncFreq(f *ir.Func, asg []int, lc *LoopCtx, cfg *machine.Config, f
 // count of a whole module under per-function assignments. Hoisted
 // loop-invariant copies cost one move (and one cycle) per loop entry.
 func ProgramCycles(m *ir.Module, asg map[*ir.Func][]int, cfg *machine.Config, prof *interp.Profile) (cycles, moves int64) {
+	sc := NewScratch()
 	for _, f := range m.Funcs {
-		res := ScheduleFuncFreq(f, asg[f], NewLoopCtx(f), cfg, prof.Freq)
+		res := sc.ScheduleFuncFreq(f, asg[f], NewLoopCtx(f), cfg, prof.Freq)
 		for _, b := range f.Blocks {
 			freq := prof.Freq(b)
 			if freq == 0 {
