@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check bench eval fmt vet clean
+.PHONY: all build test test-short race check bench bench-quick eval fmt vet clean
 
 all: build test
 
@@ -22,12 +22,26 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# The default verification gate: build, vet, plain tests, race tests.
-check: build vet test race
+# The default verification gate: formatting, build, vet, plain tests,
+# race tests. fmt-check fails (listing the offending files) if any file
+# is not gofmt-clean.
+check: fmt-check build vet test race
+
+.PHONY: fmt-check
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Regenerates every table and figure of the paper as benchmark metrics.
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x . | tee bench_output.txt
+
+# One-iteration smoke pass over the headline benchmarks (Table 1, the
+# Figure 9 search, and the memoization A/B) — quick signal that the
+# evaluation engine still runs end to end.
+bench-quick:
+	$(GO) test -run XXX -benchtime 1x \
+		-bench 'BenchmarkTable1|BenchmarkFigure9|BenchmarkExhaustiveMemo' .
 
 # Prints the paper's tables and figures as formatted text.
 eval:

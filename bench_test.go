@@ -216,6 +216,49 @@ func BenchmarkExhaustiveParallel(b *testing.B) {
 	b.ReportMetric(float64(workers), "workers")
 }
 
+// BenchmarkExhaustiveMemo measures the memoized exhaustive mapping search
+// (lock-signature caching + complement-symmetry pruning, this PR's engine)
+// against the uncached full enumeration on rawcaudio, serially, and reports
+// the speedup (recorded in BENCH_memo.json). Each iteration compiles a
+// fresh program so the memo run starts from a cold cache — the speedup is
+// what a single Figure 9 regeneration sees, not a warm-cache artifact —
+// and the two results are checked deeply equal every iteration.
+func BenchmarkExhaustiveMemo(b *testing.B) {
+	cfg := machine.Paper2Cluster(5)
+	bm, err := bench.Get("rawcaudio")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var uncached, memoized time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := eval.Prepare(bm.Name, bm.Source) // fresh: cold memo cache
+		if err != nil {
+			b.Fatal(err)
+		}
+		// NoMemo leaves c's cache untouched, so running it first keeps the
+		// memoized run cold.
+		t0 := time.Now()
+		exU, err := eval.Exhaustive(c, cfg, eval.Options{Workers: 1, NoMemo: true, NoSymPrune: true}, 14)
+		if err != nil {
+			b.Fatal(err)
+		}
+		uncached += time.Since(t0)
+		t1 := time.Now()
+		exM, err := eval.Exhaustive(c, cfg, eval.Options{Workers: 1}, 14)
+		if err != nil {
+			b.Fatal(err)
+		}
+		memoized += time.Since(t1)
+		if !reflect.DeepEqual(exU, exM) {
+			b.Fatal("memoized exhaustive search differs from uncached")
+		}
+	}
+	b.ReportMetric(uncached.Seconds()/float64(b.N), "uncached-s/op")
+	b.ReportMetric(memoized.Seconds()/float64(b.N), "memo-s/op")
+	b.ReportMetric(uncached.Seconds()/memoized.Seconds(), "speedup-x")
+}
+
 // BenchmarkFigure10 reports the average percent increase in dynamic
 // intercluster moves over the unified machine at 5-cycle latency.
 func BenchmarkFigure10(b *testing.B) {

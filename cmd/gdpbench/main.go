@@ -20,6 +20,17 @@
 // (benchmark × scheme) evaluation matrix; 0 (the default) means
 // runtime.GOMAXPROCS(0). Every table and figure is byte-identical for
 // every -j value — parallelism changes only wall time.
+//
+// Performance introspection:
+//
+//	gdpbench -all -cpuprofile cpu.pprof -memprofile mem.pprof
+//	gdpbench -all -cachestats  # per-benchmark memoization hit rates
+//
+// -cachestats appends, after the selected output, one line per compiled
+// benchmark with the memoization cache's hit/miss/entry counters (the
+// internal/memo cache that deduplicates per-function partition and
+// schedule computations across schemes; disable it with -nomemo to
+// measure the uncached engine).
 package main
 
 import (
@@ -34,6 +45,7 @@ import (
 	"mcpart/internal/eval"
 	"mcpart/internal/machine"
 	"mcpart/internal/plot"
+	"mcpart/internal/profutil"
 )
 
 func main() {
@@ -55,60 +67,84 @@ func run(args []string, out io.Writer) error {
 		jsonOut     = fs.Bool("json", false, "emit machine-readable JSON (per-benchmark, all latencies) instead of text")
 		svgDir      = fs.String("svg", "", "write every figure as an SVG file into this directory")
 		jobs        = fs.Int("j", 0, "evaluation worker count (0 = GOMAXPROCS)")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		cacheStats  = fs.Bool("cachestats", false, "print per-benchmark memoization cache statistics after the output")
+		noMemo      = fs.Bool("nomemo", false, "disable the partition-result memoization cache (for timing the uncached engine)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	h := &harness{filter: *filter, workers: *jobs, cache: map[string]*eval.Compiled{}, out: out}
-	if *jsonOut {
+	prof, err := profutil.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	h := &harness{filter: *filter, workers: *jobs, noMemo: *noMemo, cache: map[string]*eval.Compiled{}, out: out}
+	err = h.emit(*jsonOut, *svgDir, *table, *figure, *compileTime, *all)
+	if stopErr := prof.Stop(); err == nil {
+		err = stopErr
+	}
+	if err != nil {
+		return err
+	}
+	if *cacheStats {
+		h.emitCacheStats()
+	}
+	return nil
+}
+
+// emit runs whatever output the flags selected.
+func (h *harness) emit(jsonOut bool, svgDir, table, figure string, compileTime, all bool) error {
+	out := h.out
+	if jsonOut {
 		return h.emitJSON()
 	}
-	if *svgDir != "" {
-		return h.emitSVGs(*svgDir)
+	if svgDir != "" {
+		return h.emitSVGs(svgDir)
 	}
 	any := false
-	if *all || *table == "1" {
+	if all || table == "1" {
 		fmt.Fprintln(out, eval.FormatTable1())
 		any = true
 	}
-	if *all || *figure == "2" {
+	if all || figure == "2" {
 		if err := h.figure2(); err != nil {
 			return err
 		}
 		any = true
 	}
-	if *all || *figure == "7" {
+	if all || figure == "7" {
 		if err := h.perfFigure("Figure 7: performance relative to unified memory (1-cycle moves)", 1); err != nil {
 			return err
 		}
 		any = true
 	}
-	if *all || *figure == "8a" {
+	if all || figure == "8a" {
 		if err := h.perfFigure("Figure 8a: performance relative to unified memory (5-cycle moves)", 5); err != nil {
 			return err
 		}
 		any = true
 	}
-	if *all || *figure == "8b" {
+	if all || figure == "8b" {
 		if err := h.perfFigure("Figure 8b: performance relative to unified memory (10-cycle moves)", 10); err != nil {
 			return err
 		}
 		any = true
 	}
-	if *all || *figure == "9" {
+	if all || figure == "9" {
 		if err := h.figure9(); err != nil {
 			return err
 		}
 		any = true
 	}
-	if *all || *figure == "10" {
+	if all || figure == "10" {
 		if err := h.figure10(); err != nil {
 			return err
 		}
 		any = true
 	}
-	if *all || *compileTime {
+	if all || compileTime {
 		if err := h.compileTime(); err != nil {
 			return err
 		}
@@ -122,9 +158,30 @@ func run(args []string, out io.Writer) error {
 
 type harness struct {
 	filter  string
-	workers int // -j: worker pool bound, 0 = GOMAXPROCS
+	workers int  // -j: worker pool bound, 0 = GOMAXPROCS
+	noMemo  bool // -nomemo: bypass the partition-result cache
 	cache   map[string]*eval.Compiled
 	out     io.Writer
+}
+
+// options builds the evaluation options every scheme run shares.
+func (h *harness) options() eval.Options {
+	return eval.Options{Workers: h.workers, NoMemo: h.noMemo}
+}
+
+// emitCacheStats prints one memoization-counter line per compiled
+// benchmark, in suite order.
+func (h *harness) emitCacheStats() {
+	fmt.Fprintln(h.out, "memoization cache (per benchmark):")
+	for _, b := range h.benchmarks() {
+		c, ok := h.cache[b.Name]
+		if !ok {
+			continue
+		}
+		s := c.MemoStats()
+		fmt.Fprintf(h.out, "  %-12s hits %6d  misses %6d  rate %5.1f%%  entries %5d  evictions %d\n",
+			b.Name, s.Hits, s.Misses, 100*s.HitRate(), s.Entries, s.Evictions)
+	}
 }
 
 func (h *harness) benchmarks() []bench.Benchmark {
@@ -185,7 +242,7 @@ func (h *harness) runAll(lat int) ([]*eval.BenchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return eval.RunMatrix(cs, cfg, eval.Options{Workers: h.workers})
+	return eval.RunMatrix(cs, cfg, h.options())
 }
 
 func (h *harness) figure2() error {
@@ -221,7 +278,7 @@ func (h *harness) figure9() error {
 		if err != nil {
 			return err
 		}
-		ex, err := eval.Exhaustive(c, cfg, eval.Options{Workers: h.workers}, 14)
+		ex, err := eval.Exhaustive(c, cfg, h.options(), 14)
 		if err != nil {
 			return err
 		}
@@ -362,7 +419,7 @@ func (h *harness) emitSVGs(dir string) error {
 		if err != nil {
 			return err
 		}
-		ex, err := eval.Exhaustive(c, cfg, eval.Options{Workers: h.workers}, 14)
+		ex, err := eval.Exhaustive(c, cfg, h.options(), 14)
 		if err != nil {
 			return err
 		}

@@ -82,3 +82,34 @@ func TestSVGExport(t *testing.T) {
 		t.Errorf("exhaustive scatter missing: %v", err)
 	}
 }
+
+func TestCacheStats(t *testing.T) {
+	out := runBenchCmd(t, "-compiletime", "-run", "fir", "-cachestats")
+	if !strings.Contains(out, "memoization cache (per benchmark):") ||
+		!strings.Contains(out, "fir") || !strings.Contains(out, "hits") {
+		t.Errorf("cache stats missing:\n%s", out)
+	}
+}
+
+func TestNoMemoMatchesDefault(t *testing.T) {
+	memoed := runBenchCmd(t, "-figure", "8a", "-run", "fir")
+	plain := runBenchCmd(t, "-figure", "8a", "-run", "fir", "-nomemo")
+	if memoed != plain {
+		t.Errorf("-nomemo changed the output:\n%s\nvs\n%s", memoed, plain)
+	}
+}
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.pprof", dir+"/mem.pprof"
+	runBenchCmd(t, "-table", "1", "-cpuprofile", cpu, "-memprofile", mem)
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}

@@ -13,6 +13,18 @@
 // -j N bounds the worker pool the exhaustive search fans mapping masks
 // across; 0 (the default) means runtime.GOMAXPROCS(0). The output is
 // byte-identical for every -j value.
+//
+// Performance introspection:
+//
+//	gdpexplore -bench rawcaudio -cpuprofile cpu.pprof -memprofile mem.pprof
+//	gdpexplore -bench rawcaudio -cachestats  # memoization hit rates
+//	gdpexplore -bench rawcaudio -nomemo      # time the uncached engine
+//
+// The exhaustive sweep leans hard on the memoization cache (every mask
+// shares per-function lock signatures with many others) and on
+// complement-symmetry pruning; -nomemo disables the former for A/B
+// timing, and -cachestats reports what the cache did (to stderr, so CSV
+// output stays clean).
 package main
 
 import (
@@ -23,6 +35,7 @@ import (
 
 	"mcpart"
 	"mcpart/internal/eval"
+	"mcpart/internal/profutil"
 )
 
 func main() {
@@ -33,7 +46,7 @@ func main() {
 }
 
 // run executes the explorer against args, writing to out.
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("gdpexplore", flag.ContinueOnError)
 	var (
 		benchN  = fs.String("bench", "rawcaudio", "benchmark to explore")
@@ -41,10 +54,24 @@ func run(args []string, out io.Writer) error {
 		maxObj  = fs.Int("maxobjects", 14, "refuse programs with more data objects")
 		csv     = fs.Bool("csv", false, "emit CSV instead of a text scatter")
 		jobs    = fs.Int("j", 0, "search worker count (0 = GOMAXPROCS)")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		stats   = fs.Bool("cachestats", false, "print memoization cache statistics to stderr")
+		noMemo  = fs.Bool("nomemo", false, "disable the partition-result memoization cache")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	prof, err := profutil.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if serr := prof.Stop(); err == nil {
+			err = serr
+		}
+	}()
 
 	src, err := mcpart.BenchmarkSource(*benchN)
 	if err != nil {
@@ -55,9 +82,19 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	m := mcpart.Paper2Cluster(*latency)
-	ex, err := mcpart.ExhaustiveSearch(p, m, mcpart.Options{Workers: *jobs}, *maxObj)
+	ex, err := mcpart.ExhaustiveSearch(p, m, mcpart.Options{Workers: *jobs, NoMemo: *noMemo}, *maxObj)
 	if err != nil {
 		return err
+	}
+	if *stats {
+		s := p.MemoStats()
+		total := s.Hits + s.Misses
+		rate := 0.0
+		if total > 0 {
+			rate = float64(s.Hits) / float64(total)
+		}
+		fmt.Fprintf(os.Stderr, "memo cache: hits %d  misses %d  rate %.1f%%  entries %d  evictions %d\n",
+			s.Hits, s.Misses, 100*rate, s.Entries, s.Evictions)
 	}
 
 	if *csv {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -49,5 +50,36 @@ func TestExploreErrors(t *testing.T) {
 	}
 	if err := run([]string{"-bench", "mpeg2dec", "-maxobjects", "2"}, &sb); err == nil {
 		t.Error("accepted object count above cap")
+	}
+}
+
+func TestExploreNoMemoMatchesDefault(t *testing.T) {
+	var memoed, plain strings.Builder
+	if err := run([]string{"-bench", "fir", "-csv"}, &memoed); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-bench", "fir", "-csv", "-nomemo"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if memoed.String() != plain.String() {
+		t.Error("-nomemo changed the CSV output")
+	}
+}
+
+func TestExploreProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.pprof", dir+"/mem.pprof"
+	var sb strings.Builder
+	if err := run([]string{"-bench", "fir", "-cpuprofile", cpu, "-memprofile", mem, "-cachestats"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
 	}
 }

@@ -10,6 +10,11 @@
 // the unified baseline sends every access to one cache with the combined
 // size and a port per cluster. Misses add a fixed penalty on top of the
 // scheduled cycle count.
+//
+// Not to be confused with package memo, the compile-time memoization
+// cache the evaluation engine uses to avoid recomputing partition and
+// schedule results: this package simulates *hardware* caches of the
+// machine being modeled; internal/memo caches *compiler* results.
 package cache
 
 import (

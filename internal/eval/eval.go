@@ -18,6 +18,7 @@ import (
 	"mcpart/internal/ir"
 	"mcpart/internal/machine"
 	"mcpart/internal/mclang"
+	"mcpart/internal/memo"
 	"mcpart/internal/opt"
 	"mcpart/internal/pointsto"
 	"mcpart/internal/rhop"
@@ -42,7 +43,53 @@ type Compiled struct {
 	Mod  *ir.Module
 	Prof *interp.Profile
 	Ret  int64 // main's checksum, for validation
+
+	// memo caches per-function partition, lock, and schedule results
+	// across scheme runs (see internal/memo and DESIGN.md §7). The module
+	// and profile are immutable after Prepare, so results keyed by the
+	// remaining inputs — the function's projected lock signature, the
+	// machine, and the partitioner options — are valid for the lifetime
+	// of the Compiled. nil (hand-built Compiled values) disables caching.
+	memo *memo.Cache
+	// touched[f] is the sorted union of object IDs in the MayAccess sets
+	// of f's memory operations: the only objects whose data-map homes can
+	// influence f's locks, and therefore its partition. A function
+	// touching t of the module's n objects has at most 2^t distinct lock
+	// signatures, which is what collapses the 2^n exhaustive search.
+	touched map[*ir.Func][]int
 }
+
+// EnableMemo attaches a fresh memoization cache (Prepare does this
+// automatically; the method exists for hand-built Compiled values in
+// tests).
+func (c *Compiled) EnableMemo() {
+	c.memo = memo.New(0)
+	c.touched = make(map[*ir.Func][]int, len(c.Mod.Funcs))
+	for _, f := range c.Mod.Funcs {
+		seen := map[int]bool{}
+		var objs []int
+		for _, b := range f.Blocks {
+			for _, op := range b.Ops {
+				if !op.Opcode.IsMem() {
+					continue
+				}
+				for _, objID := range op.MayAccess {
+					if !seen[objID] {
+						seen[objID] = true
+						objs = append(objs, objID)
+					}
+				}
+			}
+		}
+		sort.Ints(objs)
+		c.touched[f] = objs
+	}
+}
+
+// MemoStats snapshots the memoization cache counters (zero when caching is
+// disabled). Hit counts depend on evaluation order and are therefore not
+// deterministic across worker counts; cached values always are.
+func (c *Compiled) MemoStats() memo.Stats { return c.memo.Stats() }
 
 // DefaultUnroll is the loop unrolling factor Prepare applies, matching the
 // aggressive unrolling of the paper's VLIW toolchain (it creates the
@@ -76,7 +123,9 @@ func PrepareFull(name, src string, unroll int, optimize bool) (*Compiled, error)
 	if err != nil {
 		return nil, fmt.Errorf("eval: %s: profile run: %w", name, err)
 	}
-	return &Compiled{Name: name, Mod: mod, Prof: in.Profile(), Ret: v.I}, nil
+	c := &Compiled{Name: name, Mod: mod, Prof: in.Profile(), Ret: v.I}
+	c.EnableMemo()
+	return c, nil
 }
 
 // Result is one scheme's outcome on one benchmark and machine.
@@ -90,9 +139,21 @@ type Result struct {
 
 	// DetailedRuns counts invocations of the detailed computation
 	// partitioner (§4.5: ProfileMax needs two, GDP and Naïve one each).
+	// The count is of logical runs — a run that is served entirely from
+	// the memoization cache still counts, preserving the paper's
+	// accounting; the hit counters below record the caching separately.
 	DetailedRuns int
 	// PartitionTime is the wall time spent in those invocations.
 	PartitionTime time.Duration
+
+	// MemoPartitionHits and MemoScheduleHits count the per-function
+	// partition and schedule-cost computations served from the
+	// memoization cache during this scheme run. Like PartitionTime they
+	// are performance telemetry, not results: under a parallel worker
+	// pool the counts vary with evaluation order, so determinism
+	// comparisons must exclude them (see detFields in the tests).
+	MemoPartitionHits int
+	MemoScheduleHits  int
 }
 
 // Options bundles the per-scheme knobs.
@@ -108,18 +169,160 @@ type Options struct {
 	// (see parallel.Workers). Results are identical for every worker
 	// count; only wall time changes.
 	Workers int
+	// NoMemo disables the per-Compiled memoization cache for this run
+	// (ablation / benchmarking). Results are identical either way; only
+	// wall time and the MemoHits counters change.
+	NoMemo bool
+	// NoSymPrune makes Exhaustive evaluate every mask instead of half the
+	// space on cluster-symmetric machines. Point values are identical
+	// either way: symmetric machines canonicalize each mask to its
+	// even-complement representative before evaluation in both modes.
+	NoSymPrune bool
 }
 
 func (o Options) pmaxTol() float64 { return defaults.Float(o.ProfileMaxTol, 0.10) }
 
-func runRHOP(c *Compiled, cfg *machine.Config, locks map[*ir.Func]rhop.Locks,
-	opts rhop.Options, res *Result) (map[*ir.Func][]int, error) {
+// useMemo reports whether this run should consult c's memoization cache.
+func (o Options) useMemo(c *Compiled) bool { return !o.NoMemo && c.memo != nil }
+
+// lockSigKey appends f's projected lock signature under dm: the home
+// cluster of each object f's memory operations may touch, in sorted object
+// order. Two data maps agreeing on this projection produce identical locks
+// for f — and therefore identical partitions — no matter how they map the
+// module's other objects.
+func lockSigKey(k *memo.Key, c *Compiled, f *ir.Func, dm gdp.DataMap) *memo.Key {
+	objs := c.touched[f]
+	proj := make([]int, len(objs))
+	for i, objID := range objs {
+		proj[i] = dm[objID]
+	}
+	return k.Ints(proj)
+}
+
+// computeLocks is gdp.ComputeLocks with per-function lock-signature
+// caching. Every caller gets private copies of the lock maps (schemes and
+// callers may hold them in Results while other runs share the cache).
+func computeLocks(c *Compiled, dm gdp.DataMap, opts Options) map[*ir.Func]rhop.Locks {
+	if !opts.useMemo(c) {
+		return gdp.ComputeLocks(c.Mod, dm, c.Prof)
+	}
+	out := make(map[*ir.Func]rhop.Locks, len(c.Mod.Funcs))
+	var full map[*ir.Func]rhop.Locks
+	for _, f := range c.Mod.Funcs {
+		key := lockSigKey(memo.NewKey("locks").Str(f.Name), c, f, dm).String()
+		v, _, _ := c.memo.Do(key, func() (any, error) {
+			if full == nil {
+				full = gdp.ComputeLocks(c.Mod, dm, c.Prof)
+			}
+			return full[f], nil
+		})
+		master := v.(rhop.Locks)
+		cp := make(rhop.Locks, len(master))
+		for id, cl := range master {
+			cp[id] = cl
+		}
+		out[f] = cp
+	}
+	return out
+}
+
+// partitionKey identifies one per-function detailed-partitioner result:
+// the function, its lock configuration (by projected data-map signature
+// when one is available, by explicit lock pairs otherwise, "U" for
+// unlocked), the machine, and the partitioner options.
+func partitionKey(c *Compiled, f *ir.Func, dm gdp.DataMap, locks rhop.Locks, mkey, okey string) string {
+	k := memo.NewKey("part").Str(f.Name).Str(mkey).Str(okey)
+	switch {
+	case dm != nil:
+		lockSigKey(k.Str("D"), c, f, dm)
+	case locks == nil:
+		k.Str("U")
+	default:
+		// Hand-supplied locks with no data map: canonical sorted pairs.
+		ids := make([]int, 0, len(locks))
+		for id := range locks {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		pairs := make([]int, 0, 2*len(ids))
+		for _, id := range ids {
+			pairs = append(pairs, id, locks[id])
+		}
+		k.Str("L").Ints(pairs)
+	}
+	return k.String()
+}
+
+// partitionModule runs the detailed partitioner over the module with
+// per-function memoization. It keeps the §4.5 accounting semantics: every
+// call counts as one logical DetailedRun and its wall time (however small
+// a cache hit makes it) accrues to PartitionTime, while per-function cache
+// hits are recorded separately in res.MemoPartitionHits. Returned
+// assignment slices are private copies — RunNaive mutates its assignment
+// in place, so cached masters must never be aliased.
+func partitionModule(c *Compiled, cfg *machine.Config, dm gdp.DataMap,
+	locks map[*ir.Func]rhop.Locks, ropts rhop.Options, opts Options, res *Result) (map[*ir.Func][]int, error) {
 
 	start := time.Now()
-	asg, err := rhop.PartitionModule(c.Mod, c.Prof, cfg, locks, opts)
-	res.PartitionTime += time.Since(start)
-	res.DetailedRuns++
-	return asg, err
+	defer func() {
+		res.PartitionTime += time.Since(start)
+		res.DetailedRuns++
+	}()
+	if !opts.useMemo(c) {
+		return rhop.PartitionModule(c.Mod, c.Prof, cfg, locks, ropts)
+	}
+	mkey := cfg.CacheKey()
+	okey := ropts.CacheKey()
+	out := make(map[*ir.Func][]int, len(c.Mod.Funcs))
+	for _, f := range c.Mod.Funcs {
+		var l rhop.Locks
+		if locks != nil {
+			l = locks[f]
+		}
+		key := partitionKey(c, f, dm, l, mkey, okey)
+		v, hit, err := c.memo.Do(key, func() (any, error) {
+			return rhop.PartitionFunc(f, c.Prof, cfg, l, ropts)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			res.MemoPartitionHits++
+		}
+		out[f] = append([]int(nil), v.([]int)...)
+	}
+	return out, nil
+}
+
+// programCycles is sched.ProgramCycles with per-function schedule-cost
+// caching keyed by (function, machine, assignment). ProgramCycles is
+// exactly the sum of sched FuncCycles over functions (pinned in the sched
+// tests), which makes the per-function decomposition lossless.
+func programCycles(c *Compiled, cfg *machine.Config, asg map[*ir.Func][]int,
+	opts Options, res *Result) (cycles, moves int64) {
+
+	if !opts.useMemo(c) {
+		return sched.ProgramCycles(c.Mod, asg, cfg, c.Prof)
+	}
+	mkey := cfg.CacheKey()
+	var sc *sched.Scratch
+	for _, f := range c.Mod.Funcs {
+		key := memo.NewKey("sched").Str(f.Name).Str(mkey).Ints(asg[f]).String()
+		v, hit, _ := c.memo.Do(key, func() (any, error) {
+			if sc == nil {
+				sc = sched.NewScratch()
+			}
+			cyc, mv := sc.FuncCycles(f, asg[f], cfg, c.Prof)
+			return [2]int64{cyc, mv}, nil
+		})
+		if hit {
+			res.MemoScheduleHits++
+		}
+		pair := v.([2]int64)
+		cycles += pair[0]
+		moves += pair[1]
+	}
+	return cycles, moves
 }
 
 // RunUnified evaluates the unified-memory upper bound: plain RHOP with no
@@ -127,12 +330,12 @@ func runRHOP(c *Compiled, cfg *machine.Config, locks map[*ir.Func]rhop.Locks,
 // uniform load latency.
 func RunUnified(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
 	res := &Result{Scheme: SchemeUnified}
-	asg, err := runRHOP(c, cfg, nil, opts.RHOP, res)
+	asg, err := partitionModule(c, cfg, nil, nil, opts.RHOP, opts, res)
 	if err != nil {
 		return nil, err
 	}
 	res.Assign = asg
-	res.Cycles, res.Moves = sched.ProgramCycles(c.Mod, asg, cfg, c.Prof)
+	res.Cycles, res.Moves = programCycles(c, cfg, asg, opts, res)
 	return res, nil
 }
 
@@ -150,13 +353,13 @@ func RunGDP(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
 		return nil, err
 	}
 	res.DataMap = dp.DataMap
-	res.Locks = gdp.ComputeLocks(c.Mod, dp.DataMap, c.Prof)
-	asg, err := runRHOP(c, cfg, res.Locks, opts.RHOP, res)
+	res.Locks = computeLocks(c, dp.DataMap, opts)
+	asg, err := partitionModule(c, cfg, dp.DataMap, res.Locks, opts.RHOP, opts, res)
 	if err != nil {
 		return nil, err
 	}
 	res.Assign = asg
-	res.Cycles, res.Moves = sched.ProgramCycles(c.Mod, asg, cfg, c.Prof)
+	res.Cycles, res.Moves = programCycles(c, cfg, asg, opts, res)
 	return res, nil
 }
 
@@ -165,13 +368,13 @@ func RunGDP(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
 // second pass.
 func RunWithDataMap(c *Compiled, cfg *machine.Config, dm gdp.DataMap, opts Options) (*Result, error) {
 	res := &Result{Scheme: "Fixed", DataMap: dm}
-	res.Locks = gdp.ComputeLocks(c.Mod, dm, c.Prof)
-	asg, err := runRHOP(c, cfg, res.Locks, opts.RHOP, res)
+	res.Locks = computeLocks(c, dm, opts)
+	asg, err := partitionModule(c, cfg, dm, res.Locks, opts.RHOP, opts, res)
 	if err != nil {
 		return nil, err
 	}
 	res.Assign = asg
-	res.Cycles, res.Moves = sched.ProgramCycles(c.Mod, asg, cfg, c.Prof)
+	res.Cycles, res.Moves = programCycles(c, cfg, asg, opts, res)
 	return res, nil
 }
 
@@ -183,7 +386,7 @@ func RunWithDataMap(c *Compiled, cfg *machine.Config, dm gdp.DataMap, opts Optio
 func RunProfileMax(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
 	res := &Result{Scheme: SchemeProfileMax}
 	k := cfg.NumClusters()
-	firstAsg, err := runRHOP(c, cfg, nil, opts.RHOP, res)
+	firstAsg, err := partitionModule(c, cfg, nil, nil, opts.RHOP, opts, res)
 	if err != nil {
 		return nil, err
 	}
@@ -291,13 +494,13 @@ func RunProfileMax(c *Compiled, cfg *machine.Config, opts Options) (*Result, err
 		}
 	}
 	res.DataMap = dm
-	res.Locks = gdp.ComputeLocks(c.Mod, dm, c.Prof)
-	asg, err := runRHOP(c, cfg, res.Locks, opts.RHOP, res)
+	res.Locks = computeLocks(c, dm, opts)
+	asg, err := partitionModule(c, cfg, dm, res.Locks, opts.RHOP, opts, res)
 	if err != nil {
 		return nil, err
 	}
 	res.Assign = asg
-	res.Cycles, res.Moves = sched.ProgramCycles(c.Mod, asg, cfg, c.Prof)
+	res.Cycles, res.Moves = programCycles(c, cfg, asg, opts, res)
 	return res, nil
 }
 
@@ -309,7 +512,7 @@ func RunProfileMax(c *Compiled, cfg *machine.Config, opts Options) (*Result, err
 func RunNaive(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
 	res := &Result{Scheme: SchemeNaive}
 	k := cfg.NumClusters()
-	asg, err := runRHOP(c, cfg, nil, opts.RHOP, res)
+	asg, err := partitionModule(c, cfg, nil, nil, opts.RHOP, opts, res)
 	if err != nil {
 		return nil, err
 	}
@@ -340,8 +543,10 @@ func RunNaive(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
 	}
 	res.DataMap = dm
 	// Re-home memory operations onto their object's cluster; everything
-	// else stays put and the scheduler pays the transfers.
-	locks := gdp.ComputeLocks(c.Mod, dm, c.Prof)
+	// else stays put and the scheduler pays the transfers. asg is this
+	// call's private copy (partitionModule never returns cached masters),
+	// so the in-place mutation cannot corrupt the memo cache.
+	locks := computeLocks(c, dm, opts)
 	res.Locks = locks
 	for _, f := range c.Mod.Funcs {
 		fa := asg[f]
@@ -350,7 +555,7 @@ func RunNaive(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
 		}
 	}
 	res.Assign = asg
-	res.Cycles, res.Moves = sched.ProgramCycles(c.Mod, asg, cfg, c.Prof)
+	res.Cycles, res.Moves = programCycles(c, cfg, asg, opts, res)
 	return res, nil
 }
 

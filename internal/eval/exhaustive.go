@@ -43,6 +43,18 @@ type ExhaustiveResult struct {
 // its own DataMap and (through RunWithDataMap) its own scheduler and
 // partitioner scratch state, and the points are stitched back in mask
 // order, so the result is byte-identical to the serial evaluation.
+// Points[i].Mask == i always holds (Find exploits this).
+//
+// On cluster-symmetric machines (machine.Config.SymmetricClusters) a mask
+// and its bitwise complement describe the same placement up to a cluster
+// relabeling, so each mask is evaluated through its canonical
+// representative — the member of the {mask, ^mask} pair with object 0 on
+// cluster 0. Canonicalization makes cycles(mask) == cycles(^mask) hold
+// exactly (the partitioner's lower-cluster tie-breaks would otherwise
+// skew complements slightly) and lets the sweep evaluate only the 2^(n-1)
+// canonical masks and mirror the rest; Options.NoSymPrune forces the full
+// enumeration but keeps canonicalization, so both modes return identical
+// points. Asymmetric machines always sweep every mask uncanonicalized.
 func Exhaustive(c *Compiled, cfg *machine.Config, opts Options, maxObjects int) (*ExhaustiveResult, error) {
 	if cfg.NumClusters() != 2 {
 		return nil, fmt.Errorf("eval: exhaustive search needs a 2-cluster machine, got %d", cfg.NumClusters())
@@ -60,32 +72,65 @@ func Exhaustive(c *Compiled, cfg *machine.Config, opts Options, maxObjects int) 
 		bytes[i] = objectBytes(c, i)
 		totalBytes += bytes[i]
 	}
-	res := &ExhaustiveResult{}
-	points, err := parallel.Map(context.Background(), 1<<uint(n), opts.Workers,
-		func(_ context.Context, i int) (MappingPoint, error) {
-			mask := uint64(i)
-			dm := make(gdp.DataMap, n)
-			var b1 int64
-			for j := 0; j < n; j++ {
-				dm[j] = int(mask >> uint(j) & 1)
-				if dm[j] == 1 {
-					b1 += bytes[j]
-				}
+	canon := cfg.SymmetricClusters()
+	full := uint64(1)<<uint(n) - 1
+	evalMask := func(mask uint64) (MappingPoint, error) {
+		emask := mask
+		if canon && emask&1 == 1 {
+			emask = ^emask & full // cluster-swap to the canonical representative
+		}
+		dm := make(gdp.DataMap, n)
+		var b1 int64
+		for j := 0; j < n; j++ {
+			dm[j] = int(emask >> uint(j) & 1)
+			if dm[j] == 1 {
+				b1 += bytes[j]
 			}
-			r, err := RunWithDataMap(c, cfg, dm, opts)
-			if err != nil {
-				return MappingPoint{}, err
-			}
-			imb := 0.0
-			if totalBytes > 0 {
-				imb = float64(abs64(totalBytes-2*b1)) / float64(totalBytes)
-			}
-			return MappingPoint{Mask: mask, Cycles: r.Cycles, Imbalance: imb}, nil
-		})
-	if err != nil {
-		return nil, err
+		}
+		r, err := RunWithDataMap(c, cfg, dm, opts)
+		if err != nil {
+			return MappingPoint{}, err
+		}
+		// The byte imbalance |b0-b1|/total is complement-invariant, so
+		// computing it from emask equals computing it from mask.
+		imb := 0.0
+		if totalBytes > 0 {
+			imb = float64(abs64(totalBytes-2*b1)) / float64(totalBytes)
+		}
+		return MappingPoint{Mask: mask, Cycles: r.Cycles, Imbalance: imb}, nil
 	}
-	res.Points = points
+
+	res := &ExhaustiveResult{}
+	if canon && !opts.NoSymPrune && n > 0 {
+		// Evaluate only the canonical (even) half; mirror each point onto
+		// its odd complement. Mirrored values are exactly what evaluating
+		// the odd mask would have produced, since evalMask canonicalizes.
+		evens, err := parallel.Map(context.Background(), 1<<uint(n-1), opts.Workers,
+			func(_ context.Context, i int) (MappingPoint, error) {
+				return evalMask(uint64(i) << 1)
+			})
+		if err != nil {
+			return nil, err
+		}
+		points := make([]MappingPoint, 1<<uint(n))
+		for _, p := range evens {
+			points[p.Mask] = p
+		}
+		for m := uint64(1); m < uint64(len(points)); m += 2 {
+			src := points[^m&full]
+			points[m] = MappingPoint{Mask: m, Cycles: src.Cycles, Imbalance: src.Imbalance}
+		}
+		res.Points = points
+	} else {
+		points, err := parallel.Map(context.Background(), 1<<uint(n), opts.Workers,
+			func(_ context.Context, i int) (MappingPoint, error) {
+				return evalMask(uint64(i))
+			})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = points
+	}
 	res.Worst, res.Best = res.Points[0].Cycles, res.Points[0].Cycles
 	for _, p := range res.Points {
 		if p.Cycles > res.Worst {
@@ -101,7 +146,7 @@ func Exhaustive(c *Compiled, cfg *machine.Config, opts Options, maxObjects int) 
 	// Mark the schemes' choices (independent of the scatter and of each
 	// other, so they can share the pool too).
 	var gdpRes, pmaxRes *Result
-	err = parallel.Do(context.Background(), opts.Workers,
+	err := parallel.Do(context.Background(), opts.Workers,
 		func(context.Context) error {
 			r, err := RunGDP(c, cfg, opts)
 			gdpRes = r
@@ -137,8 +182,14 @@ func abs64(x int64) int64 {
 	return x
 }
 
-// Find returns the point with the given mask, or nil.
+// Find returns the point with the given mask, or nil. Exhaustive stores
+// points in mask order (Points[i].Mask == i), so the lookup is O(1); a
+// linear scan remains as a fallback for hand-assembled results that break
+// the invariant.
 func (r *ExhaustiveResult) Find(mask uint64) *MappingPoint {
+	if mask < uint64(len(r.Points)) && r.Points[mask].Mask == mask {
+		return &r.Points[mask]
+	}
 	for i := range r.Points {
 		if r.Points[i].Mask == mask {
 			return &r.Points[i]

@@ -180,6 +180,50 @@ func (c *Config) Validate() error {
 	return nil
 }
 
+// SymmetricClusters reports whether every cluster is interchangeable:
+// identical function-unit mixes and memory capacities, and an intercluster
+// network that looks the same from every cluster (all ordered pairs of
+// distinct clusters have equal move latency). On such machines relabeling
+// the clusters by any permutation that preserves the network — in
+// particular swapping the two clusters of a 2-cluster machine — yields an
+// equivalent machine, which is what licenses the complement-symmetry
+// canonicalization in eval.Exhaustive. Asymmetric presets (Heterogeneous2,
+// WithMemCapacities with unequal shares) report false and keep full
+// sweeps.
+func (c *Config) SymmetricClusters() bool {
+	if len(c.Clusters) < 2 {
+		return true
+	}
+	for _, cl := range c.Clusters[1:] {
+		if cl != c.Clusters[0] {
+			return false
+		}
+	}
+	lat := c.MoveLat(0, 1)
+	for a := range c.Clusters {
+		for b := range c.Clusters {
+			if a != b && c.MoveLat(a, b) != lat {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CacheKey returns a canonical encoding of everything that affects
+// partitioning and scheduling outcomes: topology, move latency and
+// bandwidth, and each cluster's unit mix and memory capacity. Name is
+// deliberately excluded — two differently-named but identical configs
+// share memoized results (see internal/memo).
+func (c *Config) CacheKey() string {
+	b := make([]byte, 0, 64)
+	b = fmt.Appendf(b, "t%d;l%d;w%d", c.Topology, c.MoveLatency, c.MoveBandwidth)
+	for _, cl := range c.Clusters {
+		b = fmt.Appendf(b, ";u%v,m%d", cl.Units, cl.MemBytes)
+	}
+	return string(b)
+}
+
 // paperCluster is the per-cluster resource mix from the paper's §4.1.
 func paperCluster() Cluster {
 	var cl Cluster

@@ -1,0 +1,86 @@
+package machine
+
+import "testing"
+
+// TestSymmetricClusters pins the predicate guarding the complement-
+// symmetry pruning in eval.Exhaustive: the homogeneous presets are
+// symmetric; any unit, memory, or network asymmetry disqualifies.
+func TestSymmetricClusters(t *testing.T) {
+	for _, cfg := range []*Config{
+		Paper2Cluster(1), Paper2Cluster(5), Paper2Cluster(10),
+		FourCluster(5), Unified1Cluster(2),
+	} {
+		if !cfg.SymmetricClusters() {
+			t.Errorf("%s should be symmetric", cfg.Name)
+		}
+	}
+	if Heterogeneous2(5).SymmetricClusters() {
+		t.Error("Heterogeneous2 must not be symmetric (unequal integer units)")
+	}
+	// Unequal scratchpad capacities break symmetry even with equal units.
+	asym, err := WithMemCapacities(Paper2Cluster(5), 4*16384, 16384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asym.SymmetricClusters() {
+		t.Error("unequal memory capacities must not be symmetric")
+	}
+	// Equal capacities keep it.
+	eq, err := WithMemCapacities(Paper2Cluster(5), 16384, 16384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq.SymmetricClusters() {
+		t.Error("equal memory capacities should stay symmetric")
+	}
+	// A 4-cluster ring is homogeneous but not all-pairs-equidistant:
+	// swapping two arbitrary clusters is not network-preserving, so the
+	// predicate must reject it.
+	if RingFour(5).SymmetricClusters() {
+		t.Error("ring topology must not count as symmetric")
+	}
+	// A 2-cluster ring degenerates to a bus (one pairwise distance).
+	two := Paper2Cluster(5)
+	two.Topology = TopologyRing
+	if !two.SymmetricClusters() {
+		t.Error("2-cluster ring is equivalent to a bus and should be symmetric")
+	}
+}
+
+// TestCacheKey pins that the memoization key covers every outcome-
+// affecting machine parameter and excludes the display name.
+func TestCacheKey(t *testing.T) {
+	base := Paper2Cluster(5)
+	renamed := *base
+	renamed.Clusters = append([]Cluster(nil), base.Clusters...)
+	renamed.Name = "something-else"
+	if base.CacheKey() != renamed.CacheKey() {
+		t.Error("Name must not affect the cache key")
+	}
+	distinct := []*Config{
+		base,
+		Paper2Cluster(1),
+		Paper2Cluster(10),
+		FourCluster(5),
+		Heterogeneous2(5),
+		RingFour(5),
+		Unified1Cluster(2),
+	}
+	if withMem, err := WithMemCapacities(base, 16384, 16384); err == nil {
+		distinct = append(distinct, withMem)
+	} else {
+		t.Fatal(err)
+	}
+	wideBus := *base
+	wideBus.Clusters = append([]Cluster(nil), base.Clusters...)
+	wideBus.MoveBandwidth = 2
+	distinct = append(distinct, &wideBus)
+	seen := map[string]string{}
+	for _, cfg := range distinct {
+		k := cfg.CacheKey()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s and %s collide on cache key %q", cfg.Name, prev, k)
+		}
+		seen[k] = cfg.Name
+	}
+}

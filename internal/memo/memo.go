@@ -1,0 +1,284 @@
+// Package memo provides the bounded, deterministic result cache behind the
+// evaluation pipeline's memoized partition/schedule hot path (DESIGN.md §7).
+// The pipeline re-derives identical work constantly — the Figure 9
+// exhaustive search runs the detailed partitioner for every one of 2^n
+// object mappings even though each function only sees 2^(objects it
+// touches) distinct lock signatures, and the Unified, Profile Max and Naïve
+// schemes all begin with the same unlocked RHOP pass — so keying results by
+// their exact inputs collapses the repeated runs to one computation each.
+//
+// The cache guarantees the properties the deterministic reproduction
+// depends on:
+//
+//   - value determinism: a key is a canonical encoding of every input the
+//     cached computation reads, so whichever call fills an entry stores the
+//     same value every other call would have computed — results are
+//     byte-identical with the cache on or off and at every worker count;
+//   - in-flight deduplication: concurrent Do calls for one key compute the
+//     value once and share it (waiters block on the flight rather than
+//     duplicating the work);
+//   - bounded memory: completed entries are evicted least-recently-used
+//     beyond the capacity. Eviction changes hit counts and wall time, never
+//     values.
+//
+// Under a parallel worker pool the access order — and therefore the
+// hit/miss statistics and the eviction victims — varies run to run; only
+// Stats is order-sensitive, never a cached value.
+//
+// This package is the compile-time memoization cache. It is unrelated to
+// internal/cache, which simulates the paper's §5 future-work hardware
+// caches (set-associative LRU data caches replacing the scratchpads).
+package memo
+
+import (
+	"container/list"
+	"math"
+	"strconv"
+)
+
+import "sync"
+
+// DefaultCapacity bounds a New(0) cache: comfortably above the largest
+// exhaustive sweep the tools run by default (2^14 masks) times a typical
+// function count, so the Figure 9 search never thrashes, while still
+// capping memory for adversarial workloads.
+const DefaultCapacity = 1 << 17
+
+// Cache is a bounded memoization table. The zero value is not usable; use
+// New. A nil *Cache is accepted by every method and behaves as a cache that
+// never hits, so callers can thread an optional cache without branching.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List               // completed entries, most recent first
+	entries map[string]*list.Element // key -> element whose Value is *entry
+	flights map[string]*flight       // keys currently being computed
+
+	hits, misses, waits, evictions uint64
+}
+
+type entry struct {
+	key   string
+	value any
+}
+
+type flight struct {
+	done  chan struct{}
+	value any
+	err   error
+}
+
+// New returns an empty cache bounded to capacity completed entries;
+// capacity <= 0 selects DefaultCapacity (the repository's non-positive →
+// default sentinel convention, see internal/defaults).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+		flights: make(map[string]*flight),
+	}
+}
+
+// Do returns the cached value for key, computing and storing it with
+// compute on a miss. hit reports whether the value came from the cache
+// (including waiting on another goroutine's in-flight computation of the
+// same key). Errors are never cached: every waiter of a failed flight
+// receives the error and the next Do retries the computation.
+//
+// compute runs without the cache lock held, so it may itself use the cache
+// (under different keys).
+func (c *Cache) Do(key string, compute func() (any, error)) (v any, hit bool, err error) {
+	if c == nil {
+		v, err = compute()
+		return v, false, err
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		return el.Value.(*entry).value, true, nil
+	}
+	if fl, ok := c.flights[key]; ok {
+		c.waits++
+		c.hits++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.value, true, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[key] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	fl.value, fl.err = compute()
+	close(fl.done)
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if fl.err == nil {
+		c.insert(key, fl.value)
+	}
+	c.mu.Unlock()
+	return fl.value, false, fl.err
+}
+
+// Get returns the value cached under key, if any.
+func (c *Cache) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry).value, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores value under key, replacing any existing entry.
+func (c *Cache) Put(key string, value any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insert(key, value)
+}
+
+// insert adds or refreshes an entry and evicts beyond capacity. Caller
+// holds c.mu.
+func (c *Cache) insert(key string, value any) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).value = value
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&entry{key: key, value: value})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// Stats is a point-in-time snapshot of the cache counters. With more than
+// one worker the counts depend on scheduling order; cached values never do.
+type Stats struct {
+	// Hits counts Do/Get calls served from a completed entry or by waiting
+	// on an in-flight computation of the same key.
+	Hits uint64
+	// Misses counts calls that had to run the computation.
+	Misses uint64
+	// Waits counts the subset of Hits that blocked on an in-flight
+	// computation instead of reading a completed entry.
+	Waits uint64
+	// Evictions counts completed entries dropped by the LRU bound.
+	Evictions uint64
+	// Entries is the current number of completed entries.
+	Entries int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats snapshots the counters. A nil cache reports zeroes.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Waits:     c.waits,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+	}
+}
+
+// Key builds canonical cache keys with minimal allocation. Components are
+// appended with unambiguous separators so distinct component sequences can
+// never collide ("ab"+"c" vs "a"+"bc"). The zero value is ready to use.
+type Key struct {
+	b []byte
+}
+
+// NewKey returns a key builder seeded with a kind tag (e.g. "partition").
+func NewKey(kind string) *Key {
+	k := &Key{b: make([]byte, 0, 64)}
+	return k.Str(kind)
+}
+
+// Str appends a length-delimited string component.
+func (k *Key) Str(s string) *Key {
+	k.b = strconv.AppendInt(k.b, int64(len(s)), 10)
+	k.b = append(k.b, ':')
+	k.b = append(k.b, s...)
+	k.b = append(k.b, '|')
+	return k
+}
+
+// Int appends an integer component.
+func (k *Key) Int(v int64) *Key {
+	k.b = strconv.AppendInt(k.b, v, 10)
+	k.b = append(k.b, '|')
+	return k
+}
+
+// Ints appends a slice of integers as one component.
+func (k *Key) Ints(vs []int) *Key {
+	k.b = strconv.AppendInt(k.b, int64(len(vs)), 10)
+	k.b = append(k.b, '[')
+	for _, v := range vs {
+		k.b = strconv.AppendInt(k.b, int64(v), 10)
+		k.b = append(k.b, ',')
+	}
+	k.b = append(k.b, ']', '|')
+	return k
+}
+
+// Bytes appends raw bytes as one length-delimited component (used for
+// dense encodings like one-byte-per-op assignments).
+func (k *Key) Bytes(bs []byte) *Key {
+	k.b = strconv.AppendInt(k.b, int64(len(bs)), 10)
+	k.b = append(k.b, ':')
+	k.b = append(k.b, bs...)
+	k.b = append(k.b, '|')
+	return k
+}
+
+// Bool appends a boolean component.
+func (k *Key) Bool(v bool) *Key {
+	if v {
+		k.b = append(k.b, '1', '|')
+	} else {
+		k.b = append(k.b, '0', '|')
+	}
+	return k
+}
+
+// Float appends a float component by exact bit pattern (no rounding, so
+// distinct tolerances always get distinct keys).
+func (k *Key) Float(v float64) *Key {
+	k.b = strconv.AppendUint(k.b, math.Float64bits(v), 16)
+	k.b = append(k.b, '|')
+	return k
+}
+
+// String finalizes the key.
+func (k *Key) String() string { return string(k.b) }

@@ -1,0 +1,69 @@
+// Package profutil wraps runtime/pprof for the command-line tools: one
+// Start/Stop pair drives an optional CPU profile and an optional heap
+// snapshot, so every command exposes -cpuprofile/-memprofile with four
+// lines of glue instead of repeating the file handling.
+package profutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler owns the profile outputs opened by Start. The zero value (and
+// nil) is inert: Stop on it is a no-op, so callers can defer Stop
+// unconditionally.
+type Profiler struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// Start begins CPU profiling into cpuPath and schedules a heap snapshot
+// into memPath at Stop time. Either path may be empty to skip that
+// profile; Start(cpuPath="", memPath="") returns an inert Profiler.
+func Start(cpuPath, memPath string) (*Profiler, error) {
+	p := &Profiler{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profutil: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profutil: start cpu profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	return p, nil
+}
+
+// Stop ends the CPU profile (if one is running) and writes the heap
+// snapshot (if requested), running a GC first so the snapshot reflects
+// live memory. Safe on a nil or inert Profiler.
+func (p *Profiler) Stop() error {
+	if p == nil {
+		return nil
+	}
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		err := p.cpuFile.Close()
+		p.cpuFile = nil
+		if err != nil {
+			return fmt.Errorf("profutil: close cpu profile: %w", err)
+		}
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			return fmt.Errorf("profutil: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("profutil: write heap profile: %w", err)
+		}
+		p.memPath = ""
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package profutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartStopWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	p, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+	// Second Stop is a no-op.
+	if err := p.Stop(); err != nil {
+		t.Errorf("repeated Stop: %v", err)
+	}
+}
+
+func TestInertProfiler(t *testing.T) {
+	p, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Errorf("inert Stop: %v", err)
+	}
+	var nilP *Profiler
+	if err := nilP.Stop(); err != nil {
+		t.Errorf("nil Stop: %v", err)
+	}
+}
+
+func TestStartBadPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu"), ""); err == nil {
+		t.Fatal("want error for uncreatable cpu profile path")
+	}
+}

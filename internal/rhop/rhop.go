@@ -30,6 +30,7 @@ import (
 	"mcpart/internal/interp"
 	"mcpart/internal/ir"
 	"mcpart/internal/machine"
+	"mcpart/internal/memo"
 	"mcpart/internal/partition"
 	"mcpart/internal/sched"
 )
@@ -55,10 +56,29 @@ type Options struct {
 	// coarser levels; single-op moves sometimes cannot escape the local
 	// minima pair moves can.
 	PairRefine bool
+	// NoIncremental disables the incremental per-block estimate cache in
+	// the refinement loops and recomputes every region estimate from
+	// scratch (ablation / debugging aid). Results are identical either
+	// way — the cache is exact — so this knob only affects speed and is
+	// excluded from CacheKey.
+	NoIncremental bool
 }
 
 func (o Options) passes() int  { return defaults.Int(o.RefinePasses, 4) }
 func (o Options) tol() float64 { return defaults.Float(o.BalanceTol, 0.4) }
+
+// CacheKey returns a canonical encoding of every option that can change a
+// partitioning outcome, with defaults resolved (so the zero Options and an
+// explicit {RefinePasses: 4, BalanceTol: 0.4} share memoized results).
+// NoIncremental is excluded: it is value-neutral by construction.
+func (o Options) CacheKey() string {
+	return memo.NewKey("rhopopts").
+		Int(int64(o.passes())).
+		Float(o.tol()).
+		Bool(o.UniformEdges).
+		Bool(o.PairRefine).
+		String()
+}
 
 // scratch bundles the reusable working memory one PartitionFunc call (and
 // therefore one worker goroutine) owns: the list scheduler's node tables,
@@ -68,7 +88,12 @@ func (o Options) tol() float64 { return defaults.Float(o.BalanceTol, 0.4) }
 type scratch struct {
 	sched *sched.Scratch
 	home  sched.HomeScratch
-	est   estScratch
+	// homeInc is the refinement loops' incrementally-maintained home
+	// table. It is separate from home because realRegionCost and the
+	// from-scratch estimator clobber home, while a regionEval needs its
+	// table to stay coherent across an entire refinement loop.
+	homeInc sched.HomeScratch
+	est     estScratch
 }
 
 // PartitionFunc assigns every op of f to a cluster. prof supplies block
@@ -281,7 +306,7 @@ func partitionRegion(sc *scratch, f *ir.Func, region *cfg.Region, du *cfg.DefUse
 	consider()
 	refineRegion(sc, f, region, lc, prof, mcfg, locks, opts, asg)
 	if opts.PairRefine {
-		pairRefineRegion(sc, f, region, du, lc, prof, mcfg, locks, opts, asg)
+		pairRefineRegion(sc, f, region, du, ops, lc, prof, mcfg, locks, opts, asg)
 	}
 	consider()
 
@@ -419,10 +444,146 @@ func computeSlack(region *cfg.Region, du *cfg.DefUse, ops []*ir.Op, mcfg *machin
 	return slack
 }
 
+// regionEval evaluates candidate assignments during one refinement loop.
+// In incremental mode (the default) it caches per-block schedule-length
+// estimates keyed by a signature of exactly the inputs blockLen reads —
+// the cluster assignment of the block's own ops and the home cluster of
+// its read-before-def live-in registers — so a tentative move only
+// re-estimates the blocks it actually touches, and it maintains the
+// value-home table with O(numClusters) MoveDef deltas instead of a full
+// O(ops) recomputation per candidate. The cache is exact: a signature
+// covers every input of the estimate, and MoveDef reproduces the dominant-
+// cluster rule bit for bit, so incremental and from-scratch evaluation
+// return identical costs (pinned by TestIncrementalRefinementEquivalence).
+//
+// In full mode (Options.NoIncremental) move is a plain assignment write
+// and cost recomputes the whole region estimate, reproducing the
+// pre-cache behavior verbatim.
+type regionEval struct {
+	full   bool
+	sc     *scratch
+	f      *ir.Func
+	region *cfg.Region
+	lc     *sched.LoopCtx
+	prof   *interp.Profile
+	mcfg   *machine.Config
+	asg    []int
+	k      int
+
+	home   []int       // sc.homeInc's table, updated in place by MoveDef
+	blocks []*ir.Block // region blocks
+	freqs  []int64     // profile weight per block
+	liveIn [][]ir.VReg // per block: registers read before any local def
+	sig    [][]int32   // per block: signature of the cached estimate
+	valid  []bool      // per block: sig/val populated
+	val    []int64     // per block: cached blockLen
+	buf    []int32     // signature build buffer
+}
+
+func newRegionEval(sc *scratch, f *ir.Func, region *cfg.Region, lc *sched.LoopCtx,
+	prof *interp.Profile, mcfg *machine.Config, opts Options, asg []int) *regionEval {
+
+	re := &regionEval{
+		full: opts.NoIncremental,
+		sc:   sc, f: f, region: region, lc: lc, prof: prof, mcfg: mcfg,
+		asg: asg, k: mcfg.NumClusters(),
+	}
+	if re.full {
+		return re
+	}
+	re.home = sc.homeInc.HomeClustersFreq(f, asg, re.k, func(b *ir.Block) int64 {
+		return blockFreq(prof, b)
+	})
+	n := len(region.Blocks)
+	re.blocks = region.Blocks
+	re.freqs = make([]int64, n)
+	re.liveIn = make([][]ir.VReg, n)
+	re.sig = make([][]int32, n)
+	re.valid = make([]bool, n)
+	re.val = make([]int64, n)
+	for i, b := range region.Blocks {
+		re.freqs[i] = blockFreq(prof, b)
+		re.liveIn[i] = blockLiveIn(b)
+	}
+	return re
+}
+
+// blockLiveIn returns the registers b reads before (re)defining them
+// locally — exactly the registers whose home cluster blockLen consults —
+// in deterministic first-read order.
+func blockLiveIn(b *ir.Block) []ir.VReg {
+	defined := map[ir.VReg]bool{}
+	seen := map[ir.VReg]bool{}
+	var out []ir.VReg
+	for _, op := range b.Ops {
+		for _, a := range op.Args {
+			if a.IsReg() && !defined[a.Reg] && !seen[a.Reg] {
+				seen[a.Reg] = true
+				out = append(out, a.Reg)
+			}
+		}
+		if op.Dst != ir.NoReg {
+			defined[op.Dst] = true
+		}
+	}
+	return out
+}
+
+// move reassigns op to cluster `to`, keeping the home table coherent.
+func (re *regionEval) move(op *ir.Op, to int) {
+	from := re.asg[op.ID]
+	if from == to {
+		return
+	}
+	re.asg[op.ID] = to
+	if !re.full && op.Dst != ir.NoReg {
+		re.sc.homeInc.MoveDef(op.Dst, re.k, from, to, blockFreq(re.prof, op.Block))
+	}
+}
+
+// cost returns the region's estimated profile-weighted cycle count under
+// the current assignment.
+func (re *regionEval) cost() int64 {
+	if re.full {
+		return estimateRegionCostScratch(re.sc, re.f, re.region, re.lc, re.prof, re.mcfg, re.asg)
+	}
+	var total int64
+	for i, b := range re.blocks {
+		sig := re.buf[:0]
+		for _, op := range b.Ops {
+			sig = append(sig, int32(re.asg[op.ID]))
+		}
+		for _, r := range re.liveIn[i] {
+			sig = append(sig, int32(re.home[r]))
+		}
+		re.buf = sig
+		if !re.valid[i] || !sigEqual(re.sig[i], sig) {
+			re.val[i] = re.sc.est.blockLen(b, re.asg, re.home, re.lc, re.mcfg)
+			re.sig[i] = append(re.sig[i][:0], sig...)
+			re.valid[i] = true
+		}
+		total += re.freqs[i] * re.val[i]
+	}
+	return total
+}
+
+func sigEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // refineRegion performs estimate-driven local moves: each pass visits the
 // region's unlocked ops in deterministic order and migrates an op to the
 // cluster minimizing the region's estimated cost, keeping strict
-// improvements only.
+// improvements only. Candidate evaluation goes through a regionEval so
+// only the blocks a tentative move touches are re-estimated.
 func refineRegion(sc *scratch, f *ir.Func, region *cfg.Region, lc *sched.LoopCtx, prof *interp.Profile,
 	mcfg *machine.Config, locks Locks, opts Options, asg []int) {
 
@@ -437,8 +598,8 @@ func refineRegion(sc *scratch, f *ir.Func, region *cfg.Region, lc *sched.LoopCtx
 	}
 	sort.Slice(regionOps, func(i, j int) bool { return regionOps[i].ID < regionOps[j].ID })
 
-	cost := func() int64 { return estimateRegionCostScratch(sc, f, region, lc, prof, mcfg, asg) }
-	cur := cost()
+	re := newRegionEval(sc, f, region, lc, prof, mcfg, opts, asg)
+	cur := re.cost()
 	for pass := 0; pass < opts.passes(); pass++ {
 		improved := false
 		for _, op := range regionOps {
@@ -451,12 +612,12 @@ func refineRegion(sc *scratch, f *ir.Func, region *cfg.Region, lc *sched.LoopCtx
 				if mcfg.Units(c, machine.KindOf(op.Opcode)) == 0 {
 					continue
 				}
-				asg[op.ID] = c
-				if nc := cost(); nc < bestCost {
+				re.move(op, c)
+				if nc := re.cost(); nc < bestCost {
 					bestC, bestCost = c, nc
 				}
 			}
-			asg[op.ID] = bestC
+			re.move(op, bestC)
 			if bestC != orig {
 				cur = bestCost
 				improved = true
@@ -471,8 +632,8 @@ func refineRegion(sc *scratch, f *ir.Func, region *cfg.Region, lc *sched.LoopCtx
 // pairRefineRegion moves pairs of ops joined by their heaviest dependence
 // edge between clusters together, accepting strict estimate improvements.
 // This emulates a coarser level of RHOP's uncoarsening hierarchy.
-func pairRefineRegion(sc *scratch, f *ir.Func, region *cfg.Region, du *cfg.DefUse, lc *sched.LoopCtx,
-	prof *interp.Profile, mcfg *machine.Config, locks Locks, opts Options, asg []int) {
+func pairRefineRegion(sc *scratch, f *ir.Func, region *cfg.Region, du *cfg.DefUse, ops []*ir.Op,
+	lc *sched.LoopCtx, prof *interp.Profile, mcfg *machine.Config, locks Locks, opts Options, asg []int) {
 
 	k := mcfg.NumClusters()
 	inRegion := map[int]bool{}
@@ -482,7 +643,7 @@ func pairRefineRegion(sc *scratch, f *ir.Func, region *cfg.Region, du *cfg.DefUs
 		}
 	}
 	// Heaviest-neighbor matching over unlocked region ops.
-	type pair struct{ a, b int }
+	type pair struct{ a, b *ir.Op }
 	var pairs []pair
 	matched := map[int]bool{}
 	for _, b := range region.Blocks {
@@ -501,7 +662,7 @@ func pairRefineRegion(sc *scratch, f *ir.Func, region *cfg.Region, du *cfg.DefUs
 					if _, locked := locks[defID]; locked {
 						continue
 					}
-					pairs = append(pairs, pair{defID, op.ID})
+					pairs = append(pairs, pair{ops[defID], op})
 					matched[defID], matched[op.ID] = true, true
 					break
 				}
@@ -511,22 +672,25 @@ func pairRefineRegion(sc *scratch, f *ir.Func, region *cfg.Region, du *cfg.DefUs
 			}
 		}
 	}
-	cur := estimateRegionCostScratch(sc, f, region, lc, prof, mcfg, asg)
+	re := newRegionEval(sc, f, region, lc, prof, mcfg, opts, asg)
+	cur := re.cost()
 	for pass := 0; pass < 2; pass++ {
 		improved := false
 		for _, pr := range pairs {
-			origA, origB := asg[pr.a], asg[pr.b]
+			origA, origB := asg[pr.a.ID], asg[pr.b.ID]
 			bestA, bestB, bestCost := origA, origB, cur
 			for c := 0; c < k; c++ {
 				if c == origA && c == origB {
 					continue
 				}
-				asg[pr.a], asg[pr.b] = c, c
-				if nc := estimateRegionCostScratch(sc, f, region, lc, prof, mcfg, asg); nc < bestCost {
+				re.move(pr.a, c)
+				re.move(pr.b, c)
+				if nc := re.cost(); nc < bestCost {
 					bestA, bestB, bestCost = c, c, nc
 				}
 			}
-			asg[pr.a], asg[pr.b] = bestA, bestB
+			re.move(pr.a, bestA)
+			re.move(pr.b, bestB)
 			if bestA != origA || bestB != origB {
 				cur = bestCost
 				improved = true

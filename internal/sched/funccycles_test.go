@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcpart/internal/interp"
+	"mcpart/internal/ir"
+	"mcpart/internal/machine"
+)
+
+// TestFuncCyclesSumsToProgramCycles pins the decomposition the memoization
+// layer relies on (eval caches schedule costs per function): ProgramCycles
+// must equal the sum of FuncCycles over the module's functions.
+func TestFuncCyclesSumsToProgramCycles(t *testing.T) {
+	m := ir.NewModule("t")
+	bd := ir.NewBuilder(m, "helper", 1)
+	prev := ir.VReg(0)
+	for i := 0; i < 4; i++ {
+		prev = bd.Emit(ir.OpAdd, ir.Reg(prev), ir.ConstInt(1))
+	}
+	bd.Ret(ir.Reg(prev))
+	bd = ir.NewBuilder(m, "main", 0)
+	bd.Emit(ir.OpAdd, ir.ConstInt(1), ir.ConstInt(2))
+	bd.Emit(ir.OpMul, ir.ConstInt(3), ir.ConstInt(4))
+	bd.Ret()
+	in := interp.New(m, interp.Options{})
+	if _, err := in.RunMain(); err != nil {
+		t.Fatal(err)
+	}
+	prof := in.Profile()
+	cfg := machine.Paper2Cluster(5)
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		asg := map[*ir.Func][]int{}
+		for _, f := range m.Funcs {
+			a := make([]int, f.NOps)
+			for i := range a {
+				a[i] = rng.Intn(2)
+			}
+			asg[f] = a
+		}
+		wantC, wantM := ProgramCycles(m, asg, cfg, prof)
+		sc := NewScratch()
+		var gotC, gotM int64
+		for _, f := range m.Funcs {
+			fc, fm := sc.FuncCycles(f, asg[f], cfg, prof)
+			gotC += fc
+			gotM += fm
+		}
+		if gotC != wantC || gotM != wantM {
+			t.Fatalf("trial %d: sum of FuncCycles = (%d,%d), ProgramCycles = (%d,%d)",
+				trial, gotC, gotM, wantC, wantM)
+		}
+	}
+}
+
+// TestMoveDefMatchesRecompute pins the exactness of the incremental home
+// update: after any sequence of single-def reassignments, MoveDef's table
+// must match a from-scratch HomeClustersFreq on the final assignment —
+// including tie cases, where both sides must prefer the lower cluster.
+func TestMoveDefMatchesRecompute(t *testing.T) {
+	m := ir.NewModule("t")
+	bd := ir.NewBuilder(m, "f", 0)
+	r := bd.NewReg()
+	s := bd.NewReg()
+	bd.EmitTo(r, ir.OpMov, ir.ConstInt(1))
+	bd.EmitTo(r, ir.OpMov, ir.ConstInt(2))
+	bd.EmitTo(r, ir.OpMov, ir.ConstInt(3))
+	bd.EmitTo(s, ir.OpAdd, ir.Reg(r), ir.ConstInt(1))
+	bd.EmitTo(s, ir.OpAdd, ir.Reg(s), ir.ConstInt(2))
+	bd.Ret()
+	f := m.Func("f")
+	const k = 3
+	ops := f.OpsByID()
+
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		asg := make([]int, f.NOps)
+		for i := range asg {
+			asg[i] = rng.Intn(k)
+		}
+		var inc HomeScratch
+		inc.HomeClustersFreq(f, asg, k, nil)
+		// Random walk of single-op reassignments, mirrored through MoveDef.
+		for step := 0; step < 12; step++ {
+			id := rng.Intn(f.NOps)
+			op := ops[id]
+			to := rng.Intn(k)
+			from := asg[id]
+			asg[id] = to
+			if op.Dst != ir.NoReg && from != to {
+				inc.MoveDef(op.Dst, k, from, to, 1)
+			}
+			want := HomeClustersFreq(f, asg, k, nil)
+			got := inc.Home()
+			for reg := range want {
+				if got[reg] != want[reg] {
+					t.Fatalf("trial %d step %d: home[%d] = %d, recompute = %d (asg %v)",
+						trial, step, reg, got[reg], want[reg], asg)
+				}
+			}
+		}
+	}
+}
+
+// TestMoveDefUnassignedSides pins that a negative from/to contributes no
+// weight, matching HomeClustersFreq's treatment of unassigned ops.
+func TestMoveDefUnassignedSides(t *testing.T) {
+	m := ir.NewModule("t")
+	bd := ir.NewBuilder(m, "f", 0)
+	r := bd.NewReg()
+	bd.EmitTo(r, ir.OpMov, ir.ConstInt(1))
+	bd.Ret()
+	f := m.Func("f")
+	asg := []int{-1, 0}
+	var hs HomeScratch
+	hs.HomeClustersFreq(f, asg, 2, nil)
+	if hs.Home()[r] != EverywhereHome {
+		t.Fatalf("unassigned def should leave home everywhere, got %d", hs.Home()[r])
+	}
+	// Assigning the def is a move from the unassigned side.
+	asg[0] = 1
+	hs.MoveDef(r, 2, -1, 1, 1)
+	want := HomeClustersFreq(f, asg, 2, nil)
+	if hs.Home()[r] != want[r] {
+		t.Fatalf("home after assign = %d, recompute = %d", hs.Home()[r], want[r])
+	}
+	// And un-assigning moves back.
+	asg[0] = -1
+	hs.MoveDef(r, 2, 1, -1, 1)
+	if hs.Home()[r] != EverywhereHome {
+		t.Fatalf("home after unassign = %d, want everywhere", hs.Home()[r])
+	}
+}

@@ -91,6 +91,39 @@ func (hs *HomeScratch) HomeClustersFreq(f *ir.Func, asg []int, numClusters int, 
 	return home
 }
 
+// Home returns the scratch's current home table (as filled by the last
+// HomeClustersFreq call, possibly since adjusted by MoveDef). The slice is
+// owned by the scratch.
+func (hs *HomeScratch) Home() []int { return hs.home }
+
+// MoveDef incrementally updates the def-weight tables after reassigning a
+// single defining operation of register r from cluster `from` to cluster
+// `to`, with weight w (the same max(1, freq) weight HomeClustersFreq used
+// for that op's block), and recomputes r's home under the identical
+// dominant-cluster rule. It must follow a HomeClustersFreq call on the same
+// function, assignment base, and cluster count; the net effect equals a
+// full recomputation with the op reassigned, at O(numClusters) cost instead
+// of O(ops). Pass from or to < 0 to represent an unassigned side (which
+// contributes no def weight, matching HomeClustersFreq).
+func (hs *HomeScratch) MoveDef(r ir.VReg, numClusters, from, to int, w int64) {
+	row := hs.counts[int(r)*numClusters : (int(r)+1)*numClusters]
+	if from >= 0 {
+		row[from] -= w
+	}
+	if to >= 0 {
+		row[to] += w
+	}
+	home := EverywhereHome
+	var best int64
+	for c, cnt := range row {
+		if cnt > best {
+			best = cnt
+			home = c
+		}
+	}
+	hs.home[r] = home
+}
+
 // BlockResult is the outcome of scheduling one basic block.
 type BlockResult struct {
 	Length int // schedule length in cycles
@@ -605,20 +638,33 @@ func (sc *Scratch) ScheduleFuncFreq(f *ir.Func, asg []int, lc *LoopCtx, cfg *mac
 func ProgramCycles(m *ir.Module, asg map[*ir.Func][]int, cfg *machine.Config, prof *interp.Profile) (cycles, moves int64) {
 	sc := NewScratch()
 	for _, f := range m.Funcs {
-		res := sc.ScheduleFuncFreq(f, asg[f], NewLoopCtx(f), cfg, prof.Freq)
-		for _, b := range f.Blocks {
-			freq := prof.Freq(b)
-			if freq == 0 {
-				continue
-			}
-			cycles += freq * int64(res.Blocks[b.ID].Length)
-			moves += freq * int64(res.Blocks[b.ID].Moves)
+		fc, fm := sc.FuncCycles(f, asg[f], cfg, prof)
+		cycles += fc
+		moves += fm
+	}
+	return cycles, moves
+}
+
+// FuncCycles computes one function's contribution to ProgramCycles: the
+// profile-weighted dynamic cycle and move counts of f under assignment asg,
+// including hoisted loop-entry copies. ProgramCycles is exactly the sum of
+// FuncCycles over the module's functions, which is what lets the
+// evaluation layer cache schedule costs per (function, assignment) pair
+// (see internal/memo).
+func (sc *Scratch) FuncCycles(f *ir.Func, asg []int, cfg *machine.Config, prof *interp.Profile) (cycles, moves int64) {
+	res := sc.ScheduleFuncFreq(f, asg, NewLoopCtx(f), cfg, prof.Freq)
+	for _, b := range f.Blocks {
+		freq := prof.Freq(b)
+		if freq == 0 {
+			continue
 		}
-		for _, h := range res.Hoisted {
-			entries := res.LC.EntryFreq(h.Loop, prof.Freq)
-			moves += entries
-			cycles += entries
-		}
+		cycles += freq * int64(res.Blocks[b.ID].Length)
+		moves += freq * int64(res.Blocks[b.ID].Moves)
+	}
+	for _, h := range res.Hoisted {
+		entries := res.LC.EntryFreq(h.Loop, prof.Freq)
+		moves += entries
+		cycles += entries
 	}
 	return cycles, moves
 }

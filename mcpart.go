@@ -167,6 +167,32 @@ func (p *Program) Objects() []ObjectInfo {
 	return out
 }
 
+// MemoStats are the counters of the program's partition-result memoization
+// cache (internal/memo): how many per-function partition/schedule/lock
+// computations were answered from cache versus computed. All-zero when
+// memoization is disabled (Options.NoMemo, or a Program built without it).
+// The counters describe work saved, never results: cached and uncached
+// evaluations are byte-identical.
+type MemoStats struct {
+	Hits      uint64 // computations answered from the cache
+	Misses    uint64 // computations actually run
+	Waits     uint64 // hits that waited on an in-flight computation
+	Evictions uint64 // entries dropped by the LRU bound
+	Entries   int    // entries currently resident
+}
+
+// MemoStats reports the program's memoization-cache counters.
+func (p *Program) MemoStats() MemoStats {
+	s := p.c.MemoStats()
+	return MemoStats{
+		Hits:      s.Hits,
+		Misses:    s.Misses,
+		Waits:     s.Waits,
+		Evictions: s.Evictions,
+		Entries:   s.Entries,
+	}
+}
+
 // Evaluate runs one scheme on the program and machine.
 func Evaluate(p *Program, m *Machine, s Scheme, opts Options) (*Result, error) {
 	if err := m.Validate(); err != nil {
