@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check bench bench-quick eval fmt vet clean
+.PHONY: all build test test-short race check bench bench-quick bench-partition eval fmt vet clean
 
 all: build test
 
@@ -42,6 +42,14 @@ bench:
 bench-quick:
 	$(GO) test -run XXX -benchtime 1x \
 		-bench 'BenchmarkTable1|BenchmarkFigure9|BenchmarkExhaustiveMemo' .
+
+# Partitioner microbenchmarks: the fast CSR/FM path vs the legacy path
+# on 1k/10k/100k synthetic graphs, plus the raw numbers refreshed into
+# BENCH_partition.json (see that file for the recorded analysis).
+bench-partition:
+	$(GO) test ./internal/partition/ -run XXX \
+		-bench 'BenchmarkBisect|BenchmarkKWay' -benchtime 5x \
+		| tee bench_partition_output.txt
 
 # Prints the paper's tables and figures as formatted text.
 eval:

@@ -71,6 +71,7 @@ func run(args []string, out io.Writer) error {
 		memProfile  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 		cacheStats  = fs.Bool("cachestats", false, "print per-benchmark memoization cache statistics after the output")
 		noMemo      = fs.Bool("nomemo", false, "disable the partition-result memoization cache (for timing the uncached engine)")
+		legacyPart  = fs.Bool("legacypartition", false, "use the legacy graph partitioner instead of the gain-bucket FM fast path (for A/B comparison)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,7 +81,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	h := &harness{filter: *filter, workers: *jobs, noMemo: *noMemo, cache: map[string]*eval.Compiled{}, out: out}
+	h := &harness{filter: *filter, workers: *jobs, noMemo: *noMemo, legacyPart: *legacyPart, cache: map[string]*eval.Compiled{}, out: out}
 	err = h.emit(*jsonOut, *svgDir, *table, *figure, *compileTime, *all)
 	if stopErr := prof.Stop(); err == nil {
 		err = stopErr
@@ -157,16 +158,17 @@ func (h *harness) emit(jsonOut bool, svgDir, table, figure string, compileTime, 
 }
 
 type harness struct {
-	filter  string
-	workers int  // -j: worker pool bound, 0 = GOMAXPROCS
-	noMemo  bool // -nomemo: bypass the partition-result cache
-	cache   map[string]*eval.Compiled
-	out     io.Writer
+	filter     string
+	workers    int  // -j: worker pool bound, 0 = GOMAXPROCS
+	noMemo     bool // -nomemo: bypass the partition-result cache
+	legacyPart bool // -legacypartition: route bisections through the legacy path
+	cache      map[string]*eval.Compiled
+	out        io.Writer
 }
 
 // options builds the evaluation options every scheme run shares.
 func (h *harness) options() eval.Options {
-	return eval.Options{Workers: h.workers, NoMemo: h.noMemo}
+	return eval.Options{Workers: h.workers, NoMemo: h.noMemo, LegacyPartition: h.legacyPart}
 }
 
 // emitCacheStats prints one memoization-counter line per compiled

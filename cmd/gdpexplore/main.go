@@ -58,6 +58,7 @@ func run(args []string, out io.Writer) (err error) {
 		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
 		stats   = fs.Bool("cachestats", false, "print memoization cache statistics to stderr")
 		noMemo  = fs.Bool("nomemo", false, "disable the partition-result memoization cache")
+		legacy  = fs.Bool("legacypartition", false, "use the legacy graph partitioner instead of the gain-bucket FM fast path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,7 +83,7 @@ func run(args []string, out io.Writer) (err error) {
 		return err
 	}
 	m := mcpart.Paper2Cluster(*latency)
-	ex, err := mcpart.ExhaustiveSearch(p, m, mcpart.Options{Workers: *jobs, NoMemo: *noMemo}, *maxObj)
+	ex, err := mcpart.ExhaustiveSearch(p, m, mcpart.Options{Workers: *jobs, NoMemo: *noMemo, LegacyPartition: *legacy}, *maxObj)
 	if err != nil {
 		return err
 	}

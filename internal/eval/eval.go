@@ -178,9 +178,36 @@ type Options struct {
 	// either way: symmetric machines canonicalize each mask to its
 	// even-complement representative before evaluation in both modes.
 	NoSymPrune bool
+	// LegacyPartition routes every graph bisection (GDP's object graph and
+	// RHOP's op graphs) through the legacy partitioner path instead of the
+	// CSR + gain-bucket FM fast path (ablation; see -legacypartition).
+	LegacyPartition bool
 }
 
 func (o Options) pmaxTol() float64 { return defaults.Float(o.ProfileMaxTol, 0.10) }
+
+// rhopOpts returns o.RHOP with the run-wide partitioner knobs applied:
+// LegacyPartition is sticky (either level can set it) and the evaluation
+// worker budget doubles as the partitioner's multi-start fan-out unless
+// RHOP names its own.
+func (o Options) rhopOpts() rhop.Options {
+	r := o.RHOP
+	r.LegacyPartition = r.LegacyPartition || o.LegacyPartition
+	if r.Workers == 0 {
+		r.Workers = o.Workers
+	}
+	return r
+}
+
+// gdpOpts applies the same run-wide knobs to o.GDP.
+func (o Options) gdpOpts() gdp.Options {
+	g := o.GDP
+	g.LegacyPartition = g.LegacyPartition || o.LegacyPartition
+	if g.Workers == 0 {
+		g.Workers = o.Workers
+	}
+	return g
+}
 
 // useMemo reports whether this run should consult c's memoization cache.
 func (o Options) useMemo(c *Compiled) bool { return !o.NoMemo && c.memo != nil }
@@ -330,7 +357,7 @@ func programCycles(c *Compiled, cfg *machine.Config, asg map[*ir.Func][]int,
 // uniform load latency.
 func RunUnified(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
 	res := &Result{Scheme: SchemeUnified}
-	asg, err := partitionModule(c, cfg, nil, nil, opts.RHOP, opts, res)
+	asg, err := partitionModule(c, cfg, nil, nil, opts.rhopOpts(), opts, res)
 	if err != nil {
 		return nil, err
 	}
@@ -344,7 +371,7 @@ func RunUnified(c *Compiled, cfg *machine.Config, opts Options) (*Result, error)
 // RHOP with memory operations locked to their object's home cluster.
 func RunGDP(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
 	res := &Result{Scheme: SchemeGDP}
-	gopts := opts.GDP
+	gopts := opts.gdpOpts()
 	if gopts.MemFractions == nil {
 		gopts.MemFractions = cfg.MemFractions()
 	}
@@ -354,7 +381,7 @@ func RunGDP(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
 	}
 	res.DataMap = dp.DataMap
 	res.Locks = computeLocks(c, dp.DataMap, opts)
-	asg, err := partitionModule(c, cfg, dp.DataMap, res.Locks, opts.RHOP, opts, res)
+	asg, err := partitionModule(c, cfg, dp.DataMap, res.Locks, opts.rhopOpts(), opts, res)
 	if err != nil {
 		return nil, err
 	}
@@ -369,7 +396,7 @@ func RunGDP(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
 func RunWithDataMap(c *Compiled, cfg *machine.Config, dm gdp.DataMap, opts Options) (*Result, error) {
 	res := &Result{Scheme: "Fixed", DataMap: dm}
 	res.Locks = computeLocks(c, dm, opts)
-	asg, err := partitionModule(c, cfg, dm, res.Locks, opts.RHOP, opts, res)
+	asg, err := partitionModule(c, cfg, dm, res.Locks, opts.rhopOpts(), opts, res)
 	if err != nil {
 		return nil, err
 	}
@@ -386,7 +413,7 @@ func RunWithDataMap(c *Compiled, cfg *machine.Config, dm gdp.DataMap, opts Optio
 func RunProfileMax(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
 	res := &Result{Scheme: SchemeProfileMax}
 	k := cfg.NumClusters()
-	firstAsg, err := partitionModule(c, cfg, nil, nil, opts.RHOP, opts, res)
+	firstAsg, err := partitionModule(c, cfg, nil, nil, opts.rhopOpts(), opts, res)
 	if err != nil {
 		return nil, err
 	}
@@ -495,7 +522,7 @@ func RunProfileMax(c *Compiled, cfg *machine.Config, opts Options) (*Result, err
 	}
 	res.DataMap = dm
 	res.Locks = computeLocks(c, dm, opts)
-	asg, err := partitionModule(c, cfg, dm, res.Locks, opts.RHOP, opts, res)
+	asg, err := partitionModule(c, cfg, dm, res.Locks, opts.rhopOpts(), opts, res)
 	if err != nil {
 		return nil, err
 	}
@@ -512,7 +539,7 @@ func RunProfileMax(c *Compiled, cfg *machine.Config, opts Options) (*Result, err
 func RunNaive(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
 	res := &Result{Scheme: SchemeNaive}
 	k := cfg.NumClusters()
-	asg, err := partitionModule(c, cfg, nil, nil, opts.RHOP, opts, res)
+	asg, err := partitionModule(c, cfg, nil, nil, opts.rhopOpts(), opts, res)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"testing"
+
+	"mcpart/internal/bench"
+	"mcpart/internal/gdp"
+	"mcpart/internal/machine"
+)
+
+// TestFastPartitionNoWorseOnWorkloads is the acceptance gate for the fast
+// partitioner on the paper's own workloads (not just synthetic graphs):
+// for every bundled benchmark and both machine shapes, the object
+// partition the fast path produces is lexicographically no worse than the
+// legacy path's by (balance violation, cut weight). Violation is measured
+// the same way the partitioner's constraint is stated: bytes placed on a
+// cluster beyond total*fraction*(1+MemTol).
+func TestFastPartitionNoWorseOnWorkloads(t *testing.T) {
+	cfgs := []*machine.Config{machine.Paper2Cluster(5), machine.FourCluster(5)}
+	for _, b := range bench.All() {
+		c, err := Prepare(b.Name, b.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range cfgs {
+			k := cfg.NumClusters()
+			score := func(legacy bool) (int64, int64) {
+				opts := gdp.Options{
+					MemFractions:    cfg.MemFractions(),
+					LegacyPartition: legacy,
+					Workers:         1,
+				}
+				dp, err := gdp.PartitionData(c.Mod, c.Prof, k, opts)
+				if err != nil {
+					t.Fatalf("%s k=%d legacy=%v: %v", b.Name, k, legacy, err)
+				}
+				bytes := gdp.MemBytesPerCluster(c.Mod, dp.DataMap, c.Prof, k)
+				var total int64
+				for _, v := range bytes {
+					total += v
+				}
+				frac := func(p int) float64 {
+					if fr := cfg.MemFractions(); len(fr) == k {
+						return fr[p]
+					}
+					return 1 / float64(k)
+				}
+				var viol int64
+				for p := 0; p < k; p++ {
+					limit := int64(float64(total) * frac(p) * 1.10) // default MemTol 0.10
+					if over := bytes[p] - limit; over > 0 {
+						viol += over
+					}
+				}
+				return viol, dp.CutWeight
+			}
+			lv, lc := score(true)
+			fv, fc := score(false)
+			if fv > lv || (fv == lv && fc > lc) {
+				t.Errorf("%s k=%d: fast (viol=%d cut=%d) worse than legacy (viol=%d cut=%d)",
+					b.Name, k, fv, fc, lv, lc)
+			} else {
+				t.Logf("%s k=%d: fast (viol=%d cut=%d) vs legacy (viol=%d cut=%d)",
+					b.Name, k, fv, fc, lv, lc)
+			}
+		}
+	}
+}

@@ -55,6 +55,13 @@ type Options struct {
 	// before partitioning — approximating the "merge dependent operations
 	// with low slack" variant the paper evaluated and rejected (§3.3.1).
 	SlackMerge bool
+	// LegacyPartition routes the object-graph bisection through the legacy
+	// partitioner path instead of the CSR + gain-bucket FM fast path
+	// (ablation).
+	LegacyPartition bool
+	// Workers bounds the fast partitioner's multi-start fan-out; 0 means
+	// runtime.GOMAXPROCS(0). Results are identical for every value.
+	Workers int
 }
 
 func (o Options) memTol() float64 { return defaults.Float(o.MemTol, 0.10) }
@@ -269,7 +276,12 @@ func PartitionData(m *ir.Module, prof *interp.Profile, k int, opts Options) (*Re
 	if opts.MemFractions != nil && len(opts.MemFractions) != k {
 		return nil, fmt.Errorf("gdp: %d memory fractions for %d clusters", len(opts.MemFractions), k)
 	}
-	part, err := partition.KWay(g, k, partition.Options{Tol: tols, Fractions: opts.MemFractions})
+	part, err := partition.KWay(g, k, partition.Options{
+		Tol:       tols,
+		Fractions: opts.MemFractions,
+		Legacy:    opts.LegacyPartition,
+		Workers:   opts.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -22,32 +22,59 @@ type Options struct {
 	// (default equal shares). For Bisect it must have length 2 and sum to
 	// ~1; KWay splits it across the recursion.
 	Fractions []float64
+	// Legacy selects the original partitioner path (per-node []Edge walks,
+	// full candidate re-sorts every refinement pass, O(V·E) initial growth)
+	// instead of the default CSR + gain-bucket FM fast path. It exists for
+	// A/B ablation and as an escape hatch, mirroring the NoMemo/NoSymPrune
+	// pattern elsewhere in the tree.
+	Legacy bool
+	// Workers bounds the goroutine fan-out of the fast path's parallel
+	// multi-start initial partitioning; 0 means runtime.GOMAXPROCS(0).
+	// The result is identical for every value.
+	Workers int
 }
 
-// frac returns part p's target share for a 2-way split.
+// frac returns part p's target share for a 2-way split. Malformed
+// Fractions (wrong length, non-positive sum, or a negative entry) fall
+// back to equal shares.
 func (o Options) frac(p int) float64 {
 	if len(o.Fractions) != 2 {
 		return 0.5
 	}
 	sum := o.Fractions[0] + o.Fractions[1]
-	if sum <= 0 {
+	if sum <= 0 || o.Fractions[0] < 0 || o.Fractions[1] < 0 {
 		return 0.5
 	}
 	return o.Fractions[p] / sum
 }
 
+// tol returns dimension d's imbalance tolerance. Dimensions beyond
+// len(Tol) reuse the last entry; negative entries clamp to 0.
 func (o Options) tol(d int) float64 {
-	if len(o.Tol) == 0 {
-		return 0.10
+	t := 0.10
+	if len(o.Tol) > 0 {
+		if d >= len(o.Tol) {
+			d = len(o.Tol) - 1
+		}
+		t = o.Tol[d]
 	}
-	if d >= len(o.Tol) {
-		return o.Tol[len(o.Tol)-1]
+	if t < 0 {
+		return 0
 	}
-	return o.Tol[d]
+	return t
 }
 
 func (o Options) coarseTarget() int { return defaults.Int(o.CoarseTarget, 24) }
 func (o Options) maxPasses() int    { return defaults.Int(o.MaxPasses, 8) }
+
+// coarseTargetFast is the fast path's default coarsening floor. Initial
+// partitioning is cheap there (heap-based growing + bucket FM), so it
+// stops coarsening four times earlier than the legacy path: a larger
+// coarsest graph gives the multi-start genuinely distinct candidates to
+// carry through uncoarsening instead of sixteen tries collapsing into the
+// same tiny-graph optimum. An explicit CoarseTarget overrides both paths
+// alike.
+func (o Options) coarseTargetFast() int { return defaults.Int(o.CoarseTarget, 96) }
 
 // bscratch holds the bisection's reusable working memory: the matching and
 // candidate tables that coarsen and refine would otherwise allocate at
@@ -83,11 +110,20 @@ func Bisect(g *Graph, opts Options) ([]int, error) {
 			return nil, fmt.Errorf("partition: node %d fixed to %d, want -1..1", u, f)
 		}
 	}
+	return bisectUnchecked(g, opts), nil
+}
+
+// bisectUnchecked runs the bisection without re-validating g; KWay's
+// recursion builds subgraphs that are correct by construction, so only the
+// entry points validate.
+func bisectUnchecked(g *Graph, opts Options) []int {
 	if g.Len() == 0 {
-		return nil, nil
+		return nil
 	}
-	part := bisectRec(&bscratch{}, g, opts, 0)
-	return part, nil
+	if opts.Legacy {
+		return bisectRec(&bscratch{}, g, opts, 0)
+	}
+	return bisectFast(g, opts)
 }
 
 // level holds one step of the multilevel hierarchy.
@@ -302,9 +338,7 @@ func initialBisection(sc *bscratch, g *Graph, opts Options, try int) []int {
 		sc.inOne = make([]bool, n)
 	}
 	sc.inOne = sc.inOne[:n]
-	for i := range sc.inOne {
-		sc.inOne[i] = false
-	}
+	clear(sc.inOne)
 	inOne := sc.inOne
 	for u, f := range g.Fixed {
 		if f == 1 {
@@ -507,6 +541,23 @@ func refine(sc *bscratch, g *Graph, part []int, opts Options) {
 	}
 }
 
+// kwayScratch holds KWay's reusable fine-to-subgraph remap table, shared
+// across every level of the recursion (each level rebuilds it from zero).
+type kwayScratch struct {
+	back []int
+}
+
+// remap returns the remap table resized to n and zeroed. Entries hold
+// subgraph index + 1, with 0 meaning "not on this side".
+func (sc *kwayScratch) remap(n int) []int {
+	if cap(sc.back) < n {
+		sc.back = make([]int, n)
+	}
+	sc.back = sc.back[:n]
+	clear(sc.back)
+	return sc.back
+}
+
 // KWay partitions g into k parts (k a power of two) by recursive bisection.
 // Fixed assignments must be in [0,k).
 func KWay(g *Graph, k int, opts Options) ([]int, error) {
@@ -521,8 +572,20 @@ func KWay(g *Graph, k int, opts Options) ([]int, error) {
 			return nil, fmt.Errorf("partition: node %d fixed to %d, want -1..%d", u, f, k-1)
 		}
 	}
+	// Validate once here; the recursion's subgraphs are symmetric by
+	// construction, so revalidating at every level would only repeat work.
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
+	}
+	return kwayRec(&kwayScratch{}, g, k, opts), nil
+}
+
+func kwayRec(sc *kwayScratch, g *Graph, k int, opts Options) []int {
+	if k == 1 {
+		return make([]int, g.Len())
+	}
 	if k == 2 {
-		return Bisect(g, opts)
+		return bisectUnchecked(g, opts)
 	}
 	// First split: parts < k/2 vs >= k/2, with fraction targets summed per
 	// half when provided.
@@ -540,7 +603,9 @@ func KWay(g *Graph, k int, opts Options) ([]int, error) {
 	} else {
 		topOpts.Fractions = nil
 	}
-	top := cloneGraph(g)
+	// The top-level split only needs different fixed assignments; weights
+	// and adjacency are read-only to the bisection, so share them.
+	top := &Graph{NumW: g.NumW, W: g.W, Adj: g.Adj, Fixed: make([]int, g.Len())}
 	for u, f := range g.Fixed {
 		switch {
 		case f == -1:
@@ -551,17 +616,14 @@ func KWay(g *Graph, k int, opts Options) ([]int, error) {
 			top.Fixed[u] = 1
 		}
 	}
-	half, err := Bisect(top, topOpts)
-	if err != nil {
-		return nil, err
-	}
+	half := bisectUnchecked(top, topOpts)
 	out := make([]int, g.Len())
 	for side := 0; side < 2; side++ {
 		idx := make([]int, 0, g.Len())
-		back := make(map[int]int)
+		back := sc.remap(g.Len())
 		for u := range half {
 			if half[u] == side {
-				back[u] = len(idx)
+				back[u] = len(idx) + 1
 				idx = append(idx, u)
 			}
 		}
@@ -574,9 +636,12 @@ func KWay(g *Graph, k int, opts Options) ([]int, error) {
 					sub.Fixed[i] = -1 // fixed to the other side; unreachable
 				}
 			}
+			// Neighbor lists hold unique targets (Connect merges parallel
+			// edges), so append directly; symmetry of g.Adj gives each
+			// surviving edge its twin when the neighbor's turn comes.
 			for _, e := range g.Adj[u] {
-				if j, ok := back[e.To]; ok && i < j {
-					sub.Connect(i, j, e.W)
+				if j := back[e.To]; j > 0 {
+					sub.Adj[i] = append(sub.Adj[i], Edge{To: j - 1, W: e.W})
 				}
 			}
 		}
@@ -586,23 +651,10 @@ func KWay(g *Graph, k int, opts Options) ([]int, error) {
 		} else {
 			subOpts.Fractions = nil
 		}
-		subPart, err := KWay(sub, k/2, subOpts)
-		if err != nil {
-			return nil, err
-		}
+		subPart := kwayRec(sc, sub, k/2, subOpts)
 		for i, u := range idx {
 			out[u] = side*(k/2) + subPart[i]
 		}
 	}
-	return out, nil
-}
-
-func cloneGraph(g *Graph) *Graph {
-	c := NewGraph(g.Len(), g.NumW)
-	for u := range g.W {
-		copy(c.W[u], g.W[u])
-		c.Fixed[u] = g.Fixed[u]
-		c.Adj[u] = append([]Edge(nil), g.Adj[u]...)
-	}
-	return c
+	return out
 }

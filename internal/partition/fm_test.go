@@ -1,0 +1,233 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+)
+
+// violCut scores a bisection the way bestInitial/bestInitialFM do: total
+// balance violation first, cut weight second.
+func violCut(g *Graph, part []int, opts Options) (int64, int64) {
+	total := g.TotalW()
+	pw := PartWeights(g, part, 2)
+	var viol int64
+	for p := 0; p < 2; p++ {
+		for d, t := range total {
+			limit := int64(float64(t) * opts.frac(p) * (1 + opts.tol(d)))
+			if over := pw[p][d] - limit; over > 0 {
+				viol += over
+			}
+		}
+	}
+	return viol, CutWeight(g, part)
+}
+
+// TestFastNoWorseThanLegacy is the quality property pinning the fast
+// path's results to the legacy path's on seeded random graphs (with fixed
+// nodes and multi-dimensional weights): lexicographically by (balance
+// violation, cut weight), the fast path is never worse. In particular it
+// never violates a tolerance the legacy path satisfies.
+func TestFastNoWorseThanLegacy(t *testing.T) {
+	type cfg struct {
+		n, deg, dims int
+		withFixed    bool
+	}
+	cfgs := []cfg{
+		{60, 4, 1, false},
+		{200, 4, 2, true},
+		{300, 6, 1, true},
+		{500, 5, 3, true},
+	}
+	for _, c := range cfgs {
+		for seed := int64(0); seed < 8; seed++ {
+			g := randGraph(c.n, c.deg, c.dims, seed, c.withFixed)
+			opts := Options{Tol: []float64{0.15}}
+			legacy, err := Bisect(g, Options{Tol: opts.Tol, Legacy: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := Bisect(g, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lv, lc := violCut(g, legacy, opts)
+			fv, fc := violCut(g, fast, opts)
+			if fv > lv || (fv == lv && fc > lc) {
+				t.Errorf("n=%d deg=%d dims=%d seed=%d: fast (viol=%d cut=%d) worse than legacy (viol=%d cut=%d)",
+					c.n, c.deg, c.dims, seed, fv, fc, lv, lc)
+			}
+			for u := range fast {
+				if g.Fixed[u] != -1 && fast[u] != g.Fixed[u] {
+					t.Fatalf("n=%d seed=%d: fast path moved fixed node %d", c.n, seed, u)
+				}
+			}
+		}
+	}
+}
+
+// TestLegacyPathStillWorks keeps the ablation path honest on the
+// structured graphs the default-path tests use.
+func TestLegacyPathStillWorks(t *testing.T) {
+	g := twoCliques(12)
+	part, err := Bisect(g, Options{Legacy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := CutWeight(g, part); cut != 1 {
+		t.Errorf("legacy clique cut = %d, want 1", cut)
+	}
+	p4, err := KWay(pathGraph(16), 4, Options{Legacy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := PartWeights(pathGraph(16), p4, 4)
+	for p := 0; p < 4; p++ {
+		if pw[p][0] < 2 || pw[p][0] > 6 {
+			t.Errorf("legacy 4-way part %d weight %d", p, pw[p][0])
+		}
+	}
+}
+
+// TestFastDeterminism pins the fast path's determinism contract: the
+// partition is identical across repeated runs and across every Workers
+// value, including a configuration whose coarsest graph is large enough
+// (>= parallelTryMin nodes) that the multi-start actually fans out.
+func TestFastDeterminism(t *testing.T) {
+	g := randGraph(2000, 5, 2, 42, true)
+	for _, workers := range []int{0, 1, 8} {
+		opts := Options{
+			Tol:          []float64{0.15},
+			CoarseTarget: 600, // keep the coarsest level above parallelTryMin
+			Workers:      workers,
+		}
+		base, err := Bisect(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			p, err := Bisect(g, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for u := range base {
+				if p[u] != base[u] {
+					t.Fatalf("workers=%d rep=%d: nondeterministic at node %d", workers, rep, u)
+				}
+			}
+		}
+	}
+	// Cross-worker equality: -j1 and -j8 must agree bit for bit.
+	opts1 := Options{Tol: []float64{0.15}, CoarseTarget: 600, Workers: 1}
+	opts8 := opts1
+	opts8.Workers = 8
+	p1, err := Bisect(g, opts1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, err := Bisect(g, opts8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range p1 {
+		if p1[u] != p8[u] {
+			t.Fatalf("-j1 vs -j8 diverge at node %d", u)
+		}
+	}
+}
+
+// TestLegacyDeterminism gives the legacy path the same repeated-run check.
+func TestLegacyDeterminism(t *testing.T) {
+	g := randGraph(400, 5, 2, 11, true)
+	opts := Options{Tol: []float64{0.15}, Legacy: true}
+	base, err := Bisect(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		p, err := Bisect(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := range base {
+			if p[u] != base[u] {
+				t.Fatalf("rep %d: nondeterministic at node %d", rep, u)
+			}
+		}
+	}
+}
+
+// TestKWayFastMatchesQuality runs the 4-way recursion on random graphs
+// under both paths and checks the fast path's total cut is no worse than
+// legacy's whenever both are balance-feasible.
+func TestKWayFastMatchesQuality(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := randGraph(240, 5, 2, 100+seed, false)
+		fast, err := KWay(g, 4, Options{Tol: []float64{0.2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := KWay(g, 4, Options{Tol: []float64{0.2}, Legacy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc, lc := CutWeight(g, fast), CutWeight(g, legacy)
+		if fc > lc {
+			t.Errorf("seed %d: fast 4-way cut %d > legacy %d", seed, fc, lc)
+		}
+	}
+}
+
+// TestBucketsBasic exercises the gain-bucket structure directly —
+// inserts, removals, relinking, and lazy cursor invalidation — under both
+// backends: the linear-scan mode tiny graphs get and the lazy heap used
+// above scanSelectMax. The observable drain order must be identical.
+func TestBucketsBasic(t *testing.T) {
+	for _, mode := range []string{"scan", "heap"} {
+		t.Run(mode, func(t *testing.T) {
+			n := 8
+			if mode == "heap" {
+				n = scanSelectMax + 8 // force the heap backend
+			}
+			gains := make([]int64, n)
+			var b buckets
+			b.reset(n, gains)
+			if wantScan := mode == "scan"; b.scan != wantScan {
+				t.Fatalf("scan backend = %v, want %v", b.scan, wantScan)
+			}
+			for u := 7; u >= 0; u-- {
+				gains[u] = int64(u % 3) // gains 0,1,2 shared by several nodes
+				b.insert(u, gains[u])
+			}
+			if got := b.popMax(); got != 2 {
+				t.Fatalf("popMax = %d, want 2 (lowest index of gain 2)", got)
+			}
+			b.remove(2, 2)
+			if got := b.popMax(); got != 5 {
+				t.Fatalf("popMax after removing 2 = %d, want 5", got)
+			}
+			// Relink node 5 from gain 2 to gain 10.
+			b.remove(5, 2)
+			gains[5] = 10
+			b.insert(5, 10)
+			if got := b.popMax(); got != 5 {
+				t.Fatalf("popMax after relink = %d, want 5", got)
+			}
+			b.remove(5, 10)
+			gains[5] = 2
+			// Drain: gain-1 nodes then gain-0 nodes, ascending within a bucket.
+			var order []int
+			for {
+				u := b.popMax()
+				if u < 0 {
+					break
+				}
+				order = append(order, u)
+				b.remove(u, gains[u])
+			}
+			want := []int{1, 4, 7, 0, 3, 6}
+			if fmt.Sprint(order) != fmt.Sprint(want) {
+				t.Fatalf("drain order %v, want %v", order, want)
+			}
+		})
+	}
+}

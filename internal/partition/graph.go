@@ -9,11 +9,18 @@
 //     memory operations to their object's home cluster and to anchor
 //     region live-in values;
 //   - heavy-edge-matching coarsening, greedy graph-growing initial
-//     partitioning, and Fiduccia–Mattheyses-style boundary refinement at
-//     every uncoarsening level;
+//     partitioning, and Fiduccia–Mattheyses refinement at every
+//     uncoarsening level;
 //   - k-way partitioning by recursive bisection (k a power of two).
 //
-// Everything is deterministic: ties break on node index.
+// Two implementations share these semantics: the default fast path (CSR
+// arrays, gain-bucket FM, heap-based growing, parallel multi-start — see
+// csr.go and fm.go) and the original path behind Options.Legacy. Both are
+// fully deterministic — ties break on fixed rules (node index, or
+// insertion order within a gain bucket), multi-start winners are chosen by
+// (balance violation, cut, try index), and results are identical for every
+// Options.Workers value — but the two paths may pick different
+// equal-quality partitions from each other.
 package partition
 
 import "fmt"

@@ -62,6 +62,16 @@ type Options struct {
 	// way — the cache is exact — so this knob only affects speed and is
 	// excluded from CacheKey.
 	NoIncremental bool
+	// LegacyPartition routes the underlying graph bisection through the
+	// legacy partitioner path instead of the CSR + gain-bucket FM fast
+	// path (ablation). The two paths can pick different equal-quality
+	// partitions, so this is part of CacheKey.
+	LegacyPartition bool
+	// Workers bounds the fast partitioner's multi-start fan-out; 0 means
+	// runtime.GOMAXPROCS(0). Value-neutral (results are identical for
+	// every worker count), so — like NoIncremental — it is excluded from
+	// CacheKey.
+	Workers int
 }
 
 func (o Options) passes() int  { return defaults.Int(o.RefinePasses, 4) }
@@ -70,13 +80,15 @@ func (o Options) tol() float64 { return defaults.Float(o.BalanceTol, 0.4) }
 // CacheKey returns a canonical encoding of every option that can change a
 // partitioning outcome, with defaults resolved (so the zero Options and an
 // explicit {RefinePasses: 4, BalanceTol: 0.4} share memoized results).
-// NoIncremental is excluded: it is value-neutral by construction.
+// NoIncremental and Workers are excluded: both are value-neutral by
+// construction.
 func (o Options) CacheKey() string {
 	return memo.NewKey("rhopopts").
 		Int(int64(o.passes())).
 		Float(o.tol()).
 		Bool(o.UniformEdges).
 		Bool(o.PairRefine).
+		Bool(o.LegacyPartition).
 		String()
 }
 
@@ -279,7 +291,11 @@ func partitionRegion(sc *scratch, f *ir.Func, region *cfg.Region, du *cfg.DefUse
 		g.Connect(e.u, e.v, e.w)
 	}
 
-	part, err := partition.KWay(g, k, partition.Options{Tol: []float64{opts.tol()}})
+	part, err := partition.KWay(g, k, partition.Options{
+		Tol:     []float64{opts.tol()},
+		Legacy:  opts.LegacyPartition,
+		Workers: opts.Workers,
+	})
 	if err != nil {
 		return err
 	}
