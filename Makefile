@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check bench bench-quick bench-partition eval fmt vet clean
+.PHONY: all build test test-short race check fuzz bench bench-quick bench-partition eval fmt vet clean
 
 all: build test
 
@@ -31,6 +31,19 @@ check: fmt-check build vet test race
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Native Go fuzzing over the three harnesses: raw bytes through the
+# parser, (source, unroll) pairs through the full front end with an IR
+# verifier oracle, and progen seeds through the whole pipeline with the
+# checksum-preservation and independent-validator oracles. `go test`
+# accepts one -fuzz pattern per invocation, hence three runs. Tune with
+# e.g. `make fuzz FUZZTIME=5m`.
+FUZZTIME ?= 30s
+
+fuzz:
+	$(GO) test ./internal/mclang/ -run XXX -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mclang/ -run XXX -fuzz FuzzCompile -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/eval/ -run XXX -fuzz FuzzPipeline -fuzztime $(FUZZTIME)
 
 # Regenerates every table and figure of the paper as benchmark metrics.
 bench:

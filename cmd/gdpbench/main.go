@@ -34,6 +34,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -44,6 +45,7 @@ import (
 	"mcpart/internal/bench"
 	"mcpart/internal/eval"
 	"mcpart/internal/machine"
+	"mcpart/internal/parallel"
 	"mcpart/internal/plot"
 	"mcpart/internal/profutil"
 )
@@ -55,8 +57,15 @@ func main() {
 	}
 }
 
-// run executes the harness against args, writing to out.
-func run(args []string, out io.Writer) error {
+// run executes the harness against args, writing to out. A panic escaping
+// the pipeline is contained into an error so the tool always exits with a
+// one-line diagnostic, never a crash.
+func run(args []string, out io.Writer) (err error) {
+	defer func() {
+		if pe := parallel.Recovered("gdpbench", -1, recover()); pe != nil {
+			err = pe
+		}
+	}()
 	fs := flag.NewFlagSet("gdpbench", flag.ContinueOnError)
 	var (
 		table       = fs.String("table", "", "table to regenerate (1)")
@@ -72,16 +81,24 @@ func run(args []string, out io.Writer) error {
 		cacheStats  = fs.Bool("cachestats", false, "print per-benchmark memoization cache statistics after the output")
 		noMemo      = fs.Bool("nomemo", false, "disable the partition-result memoization cache (for timing the uncached engine)")
 		legacyPart  = fs.Bool("legacypartition", false, "use the legacy graph partitioner instead of the gain-bucket FM fast path (for A/B comparison)")
+		validate    = fs.Bool("validate", false, "re-check every result with the independent schedule validator")
+		timeout     = fs.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	prof, err := profutil.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		return err
 	}
-	h := &harness{filter: *filter, workers: *jobs, noMemo: *noMemo, legacyPart: *legacyPart, cache: map[string]*eval.Compiled{}, out: out}
+	h := &harness{ctx: ctx, filter: *filter, workers: *jobs, noMemo: *noMemo, legacyPart: *legacyPart, validate: *validate, cache: map[string]*eval.Compiled{}, out: out}
 	err = h.emit(*jsonOut, *svgDir, *table, *figure, *compileTime, *all)
 	if stopErr := prof.Stop(); err == nil {
 		err = stopErr
@@ -158,17 +175,19 @@ func (h *harness) emit(jsonOut bool, svgDir, table, figure string, compileTime, 
 }
 
 type harness struct {
+	ctx        context.Context
 	filter     string
 	workers    int  // -j: worker pool bound, 0 = GOMAXPROCS
 	noMemo     bool // -nomemo: bypass the partition-result cache
 	legacyPart bool // -legacypartition: route bisections through the legacy path
+	validate   bool // -validate: independent re-check of every result
 	cache      map[string]*eval.Compiled
 	out        io.Writer
 }
 
 // options builds the evaluation options every scheme run shares.
 func (h *harness) options() eval.Options {
-	return eval.Options{Workers: h.workers, NoMemo: h.noMemo, LegacyPartition: h.legacyPart}
+	return eval.Options{Workers: h.workers, NoMemo: h.noMemo, LegacyPartition: h.legacyPart, Validate: h.validate}
 }
 
 // emitCacheStats prints one memoization-counter line per compiled
@@ -200,7 +219,7 @@ func (h *harness) compiled(b bench.Benchmark) (*eval.Compiled, error) {
 	if c, ok := h.cache[b.Name]; ok {
 		return c, nil
 	}
-	c, err := eval.Prepare(b.Name, b.Source)
+	c, err := eval.PrepareCtx(h.ctx, b.Name, b.Source)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +239,7 @@ func (h *harness) prepareAll(bs []bench.Benchmark) ([]*eval.Compiled, error) {
 			missing = append(missing, eval.BenchSpec{Name: b.Name, Src: b.Source})
 		}
 	}
-	cs, err := eval.PrepareAll(missing, h.workers)
+	cs, err := eval.PrepareAllCtx(h.ctx, missing, h.workers)
 	if err != nil {
 		return nil, err
 	}
@@ -244,7 +263,7 @@ func (h *harness) runAll(lat int) ([]*eval.BenchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return eval.RunMatrix(cs, cfg, h.options())
+	return eval.RunMatrixCtx(h.ctx, cs, cfg, h.options())
 }
 
 func (h *harness) figure2() error {
@@ -280,7 +299,7 @@ func (h *harness) figure9() error {
 		if err != nil {
 			return err
 		}
-		ex, err := eval.Exhaustive(c, cfg, h.options(), 14)
+		ex, err := eval.ExhaustiveCtx(h.ctx, c, cfg, h.options(), 14)
 		if err != nil {
 			return err
 		}
@@ -421,7 +440,7 @@ func (h *harness) emitSVGs(dir string) error {
 		if err != nil {
 			return err
 		}
-		ex, err := eval.Exhaustive(c, cfg, h.options(), 14)
+		ex, err := eval.ExhaustiveCtx(h.ctx, c, cfg, h.options(), 14)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlagTable1(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-figure", "7", "-run", "fir", "-validate"}, &sb); err != nil {
+		t.Fatalf("-validate run failed: %v", err)
+	}
+	if !strings.Contains(sb.String(), "Figure 7") {
+		t.Errorf("output missing figure:\n%s", sb.String())
+	}
+}
+
+func TestTimeoutAborts(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-all", "-timeout", "1ns"}, &sb)
+	if err == nil {
+		t.Fatal("want deadline error under -timeout 1ns")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "deadline") {
+		t.Errorf("error = %q, want a deadline diagnostic", msg)
+	}
+	if strings.ContainsRune(msg, '\n') {
+		t.Errorf("diagnostic is not one line: %q", msg)
+	}
+}
+
+func TestBadFlagFails(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-figure", "99"}, &sb); err == nil {
+		t.Fatal("want error for unknown figure")
+	}
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 
 	"mcpart"
 	"mcpart/internal/ir"
+	"mcpart/internal/parallel"
 	"mcpart/internal/sched"
 )
 
@@ -28,8 +30,15 @@ func main() {
 	}
 }
 
-// run executes the driver against args, writing output to out.
-func run(args []string, out io.Writer) error {
+// run executes the driver against args, writing output to out. Panics
+// escaping the pipeline are contained into errors so the driver always
+// exits with a one-line diagnostic.
+func run(args []string, out io.Writer) (err error) {
+	defer func() {
+		if pe := parallel.Recovered("gdpc", -1, recover()); pe != nil {
+			err = pe
+		}
+	}()
 	fs := flag.NewFlagSet("gdpc", flag.ContinueOnError)
 	var (
 		srcPath   = fs.String("src", "", "path to an mclang source file")
@@ -42,9 +51,18 @@ func run(args []string, out io.Writer) error {
 		dumpIR    = fs.Bool("dump-ir", false, "print the compiled IR and exit")
 		dumpSched = fs.String("dump-sched", "", "print the VLIW schedule of this function under the chosen scheme")
 		objects   = fs.Bool("objects", true, "print the data-object table")
+		validate  = fs.Bool("validate", false, "re-check every result with the independent schedule validator")
+		timeout   = fs.Duration("timeout", 0, "abort after this duration (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	if *list {
@@ -92,7 +110,7 @@ func run(args []string, out io.Writer) error {
 	}
 	var unified *mcpart.Result
 	for _, s := range schemes {
-		r, err := mcpart.Evaluate(prog, m, s, mcpart.Options{})
+		r, err := mcpart.EvaluateCtx(ctx, prog, m, s, mcpart.Options{Validate: *validate})
 		if err != nil {
 			return err
 		}

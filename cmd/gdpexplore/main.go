@@ -28,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +36,7 @@ import (
 
 	"mcpart"
 	"mcpart/internal/eval"
+	"mcpart/internal/parallel"
 	"mcpart/internal/profutil"
 )
 
@@ -45,23 +47,39 @@ func main() {
 	}
 }
 
-// run executes the explorer against args, writing to out.
+// run executes the explorer against args, writing to out. Panics escaping
+// the search are contained into errors: the tool exits with a one-line
+// diagnostic, never a crash.
 func run(args []string, out io.Writer) (err error) {
+	defer func() {
+		if pe := parallel.Recovered("gdpexplore", -1, recover()); pe != nil {
+			err = pe
+		}
+	}()
 	fs := flag.NewFlagSet("gdpexplore", flag.ContinueOnError)
 	var (
-		benchN  = fs.String("bench", "rawcaudio", "benchmark to explore")
-		latency = fs.Int("latency", 5, "intercluster move latency")
-		maxObj  = fs.Int("maxobjects", 14, "refuse programs with more data objects")
-		csv     = fs.Bool("csv", false, "emit CSV instead of a text scatter")
-		jobs    = fs.Int("j", 0, "search worker count (0 = GOMAXPROCS)")
-		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
-		stats   = fs.Bool("cachestats", false, "print memoization cache statistics to stderr")
-		noMemo  = fs.Bool("nomemo", false, "disable the partition-result memoization cache")
-		legacy  = fs.Bool("legacypartition", false, "use the legacy graph partitioner instead of the gain-bucket FM fast path")
+		benchN   = fs.String("bench", "rawcaudio", "benchmark to explore")
+		latency  = fs.Int("latency", 5, "intercluster move latency")
+		maxObj   = fs.Int("maxobjects", 14, "refuse programs with more data objects")
+		csv      = fs.Bool("csv", false, "emit CSV instead of a text scatter")
+		jobs     = fs.Int("j", 0, "search worker count (0 = GOMAXPROCS)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		stats    = fs.Bool("cachestats", false, "print memoization cache statistics to stderr")
+		noMemo   = fs.Bool("nomemo", false, "disable the partition-result memoization cache")
+		legacy   = fs.Bool("legacypartition", false, "use the legacy graph partitioner instead of the gain-bucket FM fast path")
+		validate = fs.Bool("validate", false, "re-check every mapping's result with the independent schedule validator")
+		timeout  = fs.Duration("timeout", 0, "abort the search after this duration (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	prof, err := profutil.Start(*cpuProf, *memProf)
@@ -83,7 +101,7 @@ func run(args []string, out io.Writer) (err error) {
 		return err
 	}
 	m := mcpart.Paper2Cluster(*latency)
-	ex, err := mcpart.ExhaustiveSearch(p, m, mcpart.Options{Workers: *jobs, NoMemo: *noMemo, LegacyPartition: *legacy}, *maxObj)
+	ex, err := mcpart.ExhaustiveSearchCtx(ctx, p, m, mcpart.Options{Workers: *jobs, NoMemo: *noMemo, LegacyPartition: *legacy, Validate: *validate}, *maxObj)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExploreValidateFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "fir", "-validate"}, &sb); err != nil {
+		t.Fatalf("-validate run failed: %v", err)
+	}
+	if !strings.Contains(sb.String(), "best achievable") {
+		t.Errorf("output missing summary:\n%s", sb.String())
+	}
+}
+
+func TestExploreTimeoutAborts(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-bench", "rawcaudio", "-timeout", "1ns"}, &sb)
+	if err == nil {
+		t.Fatal("want deadline error under -timeout 1ns")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "deadline") {
+		t.Errorf("error = %q, want a deadline diagnostic", msg)
+	}
+	if strings.ContainsRune(msg, '\n') {
+		t.Errorf("diagnostic is not one line: %q", msg)
+	}
+}

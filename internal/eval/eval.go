@@ -8,10 +8,12 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
+	"mcpart/internal/check"
 	"mcpart/internal/defaults"
 	"mcpart/internal/gdp"
 	"mcpart/internal/interp"
@@ -34,6 +36,10 @@ const (
 	SchemeGDP        Scheme = "GDP"
 	SchemeProfileMax Scheme = "ProfileMax"
 	SchemeNaive      Scheme = "Naive"
+	// SchemeFixed is a caller-supplied data mapping (RunWithDataMap); it
+	// appears in CellError attribution for exhaustive-search masks, never
+	// in the scheme matrix.
+	SchemeFixed Scheme = "Fixed"
 )
 
 // Compiled is a benchmark after front end, points-to analysis and
@@ -107,9 +113,30 @@ func PrepareUnrolled(name, src string, unroll int) (*Compiled, error) {
 	return PrepareFull(name, src, unroll, true)
 }
 
+// PrepareCtx is Prepare with a cancellation context: compilation is skipped
+// if ctx is already done, and a ctx deadline bounds the profiling
+// interpreter's wall clock.
+func PrepareCtx(ctx context.Context, name, src string) (*Compiled, error) {
+	return PrepareFullCtx(ctx, name, src, DefaultUnroll, true)
+}
+
 // PrepareFull exposes every front-end knob: the unroll factor and whether
 // the classical optimizer (fold/copy-prop/CSE/DCE) runs before analysis.
 func PrepareFull(name, src string, unroll int, optimize bool) (*Compiled, error) {
+	return PrepareFullCtx(context.Background(), name, src, unroll, optimize)
+}
+
+// PrepareFullCtx is PrepareFull under a context.
+func PrepareFullCtx(ctx context.Context, name, src string, unroll int, optimize bool) (*Compiled, error) {
+	iopts := interp.Options{MaxSteps: 10_000_000}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("eval: %s: %w", name, err)
+		}
+		if dl, ok := ctx.Deadline(); ok {
+			iopts.Deadline = dl
+		}
+	}
 	mod, err := mclang.CompileUnrolled(src, name, unroll)
 	if err != nil {
 		return nil, fmt.Errorf("eval: %s: %w", name, err)
@@ -118,7 +145,7 @@ func PrepareFull(name, src string, unroll int, optimize bool) (*Compiled, error)
 		opt.Optimize(mod)
 	}
 	pointsto.Analyze(mod)
-	in := interp.New(mod, interp.Options{MaxSteps: 10_000_000})
+	in := interp.New(mod, iopts)
 	v, err := in.RunMain()
 	if err != nil {
 		return nil, fmt.Errorf("eval: %s: profile run: %w", name, err)
@@ -137,6 +164,12 @@ type Result struct {
 	Assign  map[*ir.Func][]int // final computation partition
 	Locks   map[*ir.Func]rhop.Locks
 
+	// Groups are the data partitioner's indivisible must-alias object
+	// merge groups (GDP only; nil elsewhere). The validator's capacity
+	// bound allows one unit of slack per cluster, because a merged group
+	// has to live somewhere whole.
+	Groups [][]int
+
 	// DetailedRuns counts invocations of the detailed computation
 	// partitioner (§4.5: ProfileMax needs two, GDP and Naïve one each).
 	// The count is of logical runs — a run that is served entirely from
@@ -145,6 +178,12 @@ type Result struct {
 	DetailedRuns int
 	// PartitionTime is the wall time spent in those invocations.
 	PartitionTime time.Duration
+
+	// Degraded is non-nil when a matrix runner substituted a fallback
+	// scheme for the requested one (Options.Fallback): Scheme then names
+	// the scheme that actually produced these numbers and Degraded records
+	// which scheme was asked for and why it failed.
+	Degraded *Degradation
 
 	// MemoPartitionHits and MemoScheduleHits count the per-function
 	// partition and schedule-cost computations served from the
@@ -182,6 +221,78 @@ type Options struct {
 	// RHOP's op graphs) through the legacy partitioner path instead of the
 	// CSR + gain-bucket FM fast path (ablation; see -legacypartition).
 	LegacyPartition bool
+	// Validate runs the independent schedule-level validator
+	// (internal/check) over every scheme result before it is returned; an
+	// invalid result becomes an error (and, under Fallback, triggers the
+	// degradation chain). The validator re-derives homes, §3.4 locks, FU
+	// and bus occupancy, ready times, and the cycle accounting from first
+	// principles.
+	Validate bool
+	// Fallback enables graceful scheme degradation in the matrix runners:
+	// a GDP cell that fails or validates invalid falls back to ProfileMax,
+	// then Naive (ProfileMax falls back to Naive), recording the
+	// substitution in Result.Degraded instead of failing the whole matrix.
+	Fallback bool
+	// Inject, when non-nil, is consulted at the start of each pipeline
+	// stage — "data" (GDP's object partitioning), "partition", "sched",
+	// "validate" — with the scheme under evaluation; a non-nil return
+	// aborts that stage with the returned error. Fault injection for the
+	// degradation and containment tests.
+	Inject func(scheme Scheme, stage string) error
+	// ctx carries the run's cancellation context; it is attached by the
+	// *Ctx entry points (RunSchemeCtx, RunMatrixCtx, ExhaustiveCtx) and
+	// checked between per-function pipeline steps.
+	ctx context.Context
+}
+
+// Degradation records that a result was produced by a fallback scheme
+// after the requested one failed or was invalid.
+type Degradation struct {
+	// From is the scheme originally requested.
+	From Scheme
+	// Err is the failure that triggered the fallback (possibly a
+	// *parallel.PanicError or a *check.Error).
+	Err error
+}
+
+// inject consults the fault-injection hook for a pipeline stage.
+func (o Options) inject(s Scheme, stage string) error {
+	if o.Inject == nil {
+		return nil
+	}
+	return o.Inject(s, stage)
+}
+
+// ctxErr reports the attached context's cancellation state (nil when no
+// context was attached).
+func (o Options) ctxErr() error {
+	if o.ctx == nil {
+		return nil
+	}
+	return o.ctx.Err()
+}
+
+// validateResult runs the independent validator over a finished scheme
+// result when Options.Validate is set. Capacity is enforced only for GDP:
+// it is the one scheme that promises balanced homes (Profile Max's
+// threshold rule deliberately overflows, Naïve ignores balance).
+func (o Options) validateResult(c *Compiled, cfg *machine.Config, res *Result) error {
+	if !o.Validate {
+		return nil
+	}
+	if err := o.inject(res.Scheme, "validate"); err != nil {
+		return fmt.Errorf("validate: %w", err)
+	}
+	return check.Validate(c.Mod, c.Prof, cfg, check.Result{
+		Scheme:        string(res.Scheme),
+		DataMap:       res.DataMap,
+		Assign:        res.Assign,
+		Locks:         res.Locks,
+		Cycles:        res.Cycles,
+		Moves:         res.Moves,
+		Groups:        res.Groups,
+		CheckCapacity: res.Scheme == SchemeGDP,
+	}, check.Options{})
 }
 
 func (o Options) pmaxTol() float64 { return defaults.Float(o.ProfileMaxTol, 0.10) }
@@ -290,6 +401,12 @@ func partitionKey(c *Compiled, f *ir.Func, dm gdp.DataMap, locks rhop.Locks, mke
 func partitionModule(c *Compiled, cfg *machine.Config, dm gdp.DataMap,
 	locks map[*ir.Func]rhop.Locks, ropts rhop.Options, opts Options, res *Result) (map[*ir.Func][]int, error) {
 
+	if err := opts.inject(res.Scheme, "partition"); err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
+	}
+	if err := opts.ctxErr(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	defer func() {
 		res.PartitionTime += time.Since(start)
@@ -302,6 +419,9 @@ func partitionModule(c *Compiled, cfg *machine.Config, dm gdp.DataMap,
 	okey := ropts.CacheKey()
 	out := make(map[*ir.Func][]int, len(c.Mod.Funcs))
 	for _, f := range c.Mod.Funcs {
+		if err := opts.ctxErr(); err != nil {
+			return nil, err
+		}
 		var l rhop.Locks
 		if locks != nil {
 			l = locks[f]
@@ -326,10 +446,17 @@ func partitionModule(c *Compiled, cfg *machine.Config, dm gdp.DataMap,
 // exactly the sum of sched FuncCycles over functions (pinned in the sched
 // tests), which makes the per-function decomposition lossless.
 func programCycles(c *Compiled, cfg *machine.Config, asg map[*ir.Func][]int,
-	opts Options, res *Result) (cycles, moves int64) {
+	opts Options, res *Result) (cycles, moves int64, err error) {
 
+	if err := opts.inject(res.Scheme, "sched"); err != nil {
+		return 0, 0, fmt.Errorf("schedule: %w", err)
+	}
+	if err := opts.ctxErr(); err != nil {
+		return 0, 0, err
+	}
 	if !opts.useMemo(c) {
-		return sched.ProgramCycles(c.Mod, asg, cfg, c.Prof)
+		cycles, moves = sched.ProgramCycles(c.Mod, asg, cfg, c.Prof)
+		return cycles, moves, nil
 	}
 	mkey := cfg.CacheKey()
 	var sc *sched.Scratch
@@ -349,7 +476,23 @@ func programCycles(c *Compiled, cfg *machine.Config, asg map[*ir.Func][]int,
 		cycles += pair[0]
 		moves += pair[1]
 	}
-	return cycles, moves
+	return cycles, moves, nil
+}
+
+// finish completes a scheme run: record the assignment, recompute the
+// profile-weighted cycle counts through the (possibly memoized) scheduler,
+// and validate the result when Options.Validate is set.
+func finish(c *Compiled, cfg *machine.Config, res *Result, asg map[*ir.Func][]int, opts Options) (*Result, error) {
+	res.Assign = asg
+	var err error
+	res.Cycles, res.Moves, err = programCycles(c, cfg, asg, opts, res)
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.validateResult(c, cfg, res); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // RunUnified evaluates the unified-memory upper bound: plain RHOP with no
@@ -361,9 +504,7 @@ func RunUnified(c *Compiled, cfg *machine.Config, opts Options) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	res.Assign = asg
-	res.Cycles, res.Moves = programCycles(c, cfg, asg, opts, res)
-	return res, nil
+	return finish(c, cfg, res, asg, opts)
 }
 
 // RunGDP evaluates the paper's Global Data Partitioning: first pass
@@ -371,6 +512,9 @@ func RunUnified(c *Compiled, cfg *machine.Config, opts Options) (*Result, error)
 // RHOP with memory operations locked to their object's home cluster.
 func RunGDP(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
 	res := &Result{Scheme: SchemeGDP}
+	if err := opts.inject(SchemeGDP, "data"); err != nil {
+		return nil, fmt.Errorf("data partition: %w", err)
+	}
 	gopts := opts.gdpOpts()
 	if gopts.MemFractions == nil {
 		gopts.MemFractions = cfg.MemFractions()
@@ -380,29 +524,26 @@ func RunGDP(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
 		return nil, err
 	}
 	res.DataMap = dp.DataMap
+	res.Groups = dp.Groups
 	res.Locks = computeLocks(c, dp.DataMap, opts)
 	asg, err := partitionModule(c, cfg, dp.DataMap, res.Locks, opts.rhopOpts(), opts, res)
 	if err != nil {
 		return nil, err
 	}
-	res.Assign = asg
-	res.Cycles, res.Moves = programCycles(c, cfg, asg, opts, res)
-	return res, nil
+	return finish(c, cfg, res, asg, opts)
 }
 
 // RunWithDataMap evaluates an externally chosen object mapping (used by the
 // Figure 9 exhaustive search): lock memory ops to dm's homes and run the
 // second pass.
 func RunWithDataMap(c *Compiled, cfg *machine.Config, dm gdp.DataMap, opts Options) (*Result, error) {
-	res := &Result{Scheme: "Fixed", DataMap: dm}
+	res := &Result{Scheme: SchemeFixed, DataMap: dm}
 	res.Locks = computeLocks(c, dm, opts)
 	asg, err := partitionModule(c, cfg, dm, res.Locks, opts.rhopOpts(), opts, res)
 	if err != nil {
 		return nil, err
 	}
-	res.Assign = asg
-	res.Cycles, res.Moves = programCycles(c, cfg, asg, opts, res)
-	return res, nil
+	return finish(c, cfg, res, asg, opts)
 }
 
 // RunProfileMax evaluates the Profile Max baseline: run RHOP assuming a
@@ -526,9 +667,7 @@ func RunProfileMax(c *Compiled, cfg *machine.Config, opts Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	res.Assign = asg
-	res.Cycles, res.Moves = programCycles(c, cfg, asg, opts, res)
-	return res, nil
+	return finish(c, cfg, res, asg, opts)
 }
 
 // RunNaive evaluates the Naïve postpass of §2/Figure 2: partition assuming
@@ -581,9 +720,7 @@ func RunNaive(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
 			fa[id] = cl
 		}
 	}
-	res.Assign = asg
-	res.Cycles, res.Moves = programCycles(c, cfg, asg, opts, res)
-	return res, nil
+	return finish(c, cfg, res, asg, opts)
 }
 
 func objectBytes(c *Compiled, objID int) int64 {

@@ -56,6 +56,16 @@ type ExhaustiveResult struct {
 // enumeration but keeps canonicalization, so both modes return identical
 // points. Asymmetric machines always sweep every mask uncanonicalized.
 func Exhaustive(c *Compiled, cfg *machine.Config, opts Options, maxObjects int) (*ExhaustiveResult, error) {
+	return ExhaustiveCtx(context.Background(), c, cfg, opts, maxObjects)
+}
+
+// ExhaustiveCtx is Exhaustive under a context: cancellation stops the mask
+// sweep between items and propagates ctx's error.
+func ExhaustiveCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts Options, maxObjects int) (*ExhaustiveResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts.ctx = ctx
 	if cfg.NumClusters() != 2 {
 		return nil, fmt.Errorf("eval: exhaustive search needs a 2-cluster machine, got %d", cfg.NumClusters())
 	}
@@ -89,7 +99,7 @@ func Exhaustive(c *Compiled, cfg *machine.Config, opts Options, maxObjects int) 
 		}
 		r, err := RunWithDataMap(c, cfg, dm, opts)
 		if err != nil {
-			return MappingPoint{}, err
+			return MappingPoint{}, &CellError{Bench: c.Name, Scheme: SchemeFixed, Mask: mask, HasMask: true, Err: err}
 		}
 		// The byte imbalance |b0-b1|/total is complement-invariant, so
 		// computing it from emask equals computing it from mask.
@@ -105,7 +115,7 @@ func Exhaustive(c *Compiled, cfg *machine.Config, opts Options, maxObjects int) 
 		// Evaluate only the canonical (even) half; mirror each point onto
 		// its odd complement. Mirrored values are exactly what evaluating
 		// the odd mask would have produced, since evalMask canonicalizes.
-		evens, err := parallel.Map(context.Background(), 1<<uint(n-1), opts.Workers,
+		evens, err := parallel.MapStage(ctx, "exhaustive", 1<<uint(n-1), opts.Workers,
 			func(_ context.Context, i int) (MappingPoint, error) {
 				return evalMask(uint64(i) << 1)
 			})
@@ -122,7 +132,7 @@ func Exhaustive(c *Compiled, cfg *machine.Config, opts Options, maxObjects int) 
 		}
 		res.Points = points
 	} else {
-		points, err := parallel.Map(context.Background(), 1<<uint(n), opts.Workers,
+		points, err := parallel.MapStage(ctx, "exhaustive", 1<<uint(n), opts.Workers,
 			func(_ context.Context, i int) (MappingPoint, error) {
 				return evalMask(uint64(i))
 			})
@@ -146,14 +156,20 @@ func Exhaustive(c *Compiled, cfg *machine.Config, opts Options, maxObjects int) 
 	// Mark the schemes' choices (independent of the scatter and of each
 	// other, so they can share the pool too).
 	var gdpRes, pmaxRes *Result
-	err := parallel.Do(context.Background(), opts.Workers,
+	err := parallel.Do(ctx, opts.Workers,
 		func(context.Context) error {
 			r, err := RunGDP(c, cfg, opts)
+			if err != nil {
+				err = &CellError{Bench: c.Name, Scheme: SchemeGDP, Err: err}
+			}
 			gdpRes = r
 			return err
 		},
 		func(context.Context) error {
 			r, err := RunProfileMax(c, cfg, opts)
+			if err != nil {
+				err = &CellError{Bench: c.Name, Scheme: SchemeProfileMax, Err: err}
+			}
 			pmaxRes = r
 			return err
 		})

@@ -1,0 +1,43 @@
+package eval
+
+import (
+	"testing"
+
+	"mcpart/internal/machine"
+	"mcpart/internal/progen"
+)
+
+// FuzzPipeline property-tests the whole pipeline on generated programs:
+// progen's output is valid and terminating by construction, so every stage
+// must succeed, the optimizer and unroller must preserve the interpreter
+// checksum (the end-to-end oracle), and every scheme's result must satisfy
+// the independent validator.
+func FuzzPipeline(f *testing.F) {
+	for _, seed := range []int64{1, 7, 42, 1337, 99991} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		src := progen.Generate(seed, progen.Options{})
+		plain, err := PrepareFull("fuzz", src, 1, false)
+		if err != nil {
+			t.Fatalf("seed %d: unoptimized pipeline rejected a progen program: %v\n%s", seed, err, src)
+		}
+		full, err := PrepareFull("fuzz", src, DefaultUnroll, true)
+		if err != nil {
+			t.Fatalf("seed %d: optimized pipeline rejected a progen program: %v\n%s", seed, err, src)
+		}
+		if plain.Ret != full.Ret {
+			t.Fatalf("seed %d: optimizer/unroller changed the checksum: %d -> %d\n%s",
+				seed, plain.Ret, full.Ret, src)
+		}
+		br, err := RunAllSchemes(full, machine.Paper2Cluster(5), Options{Validate: true, Workers: 1})
+		if err != nil {
+			t.Fatalf("seed %d: scheme evaluation failed validation: %v\n%s", seed, err, src)
+		}
+		for _, r := range []*Result{br.Unified, br.GDP, br.PMax, br.Naive} {
+			if r.Cycles <= 0 {
+				t.Fatalf("seed %d: %s produced %d cycles", seed, r.Scheme, r.Cycles)
+			}
+		}
+	})
+}

@@ -35,10 +35,97 @@ var schemeRunners = []struct {
 	{SchemeNaive, RunNaive, func(br *BenchResult, r *Result) { br.Naive = r }},
 }
 
+// RunScheme dispatches one Table 1 scheme by name.
+func RunScheme(c *Compiled, cfg *machine.Config, s Scheme, opts Options) (*Result, error) {
+	for _, sr := range schemeRunners {
+		if sr.scheme == s {
+			return sr.run(c, cfg, opts)
+		}
+	}
+	return nil, fmt.Errorf("eval: unknown scheme %q", s)
+}
+
+// RunSchemeCtx is RunScheme with a cancellation context: the run aborts
+// between pipeline steps once ctx is done, and any interpreter work
+// respects the deadline.
+func RunSchemeCtx(ctx context.Context, c *Compiled, cfg *machine.Config, s Scheme, opts Options) (*Result, error) {
+	opts.ctx = ctx
+	return RunScheme(c, cfg, s, opts)
+}
+
+// CellError attributes a matrix or exhaustive-search failure to the exact
+// work cell — (benchmark, scheme) and, for the Figure 9 sweep, the data
+// mapping mask — so a failure deep in a parallel fan-out stays debuggable.
+type CellError struct {
+	Bench  string
+	Scheme Scheme
+	// Mask is the exhaustive data-mapping mask; meaningful only when
+	// HasMask is set.
+	Mask    uint64
+	HasMask bool
+	Err     error
+}
+
+func (e *CellError) Error() string {
+	if e.HasMask {
+		return fmt.Sprintf("%s %s mask %#x: %v", e.Bench, strings.ToLower(string(e.Scheme)), e.Mask, e.Err)
+	}
+	return fmt.Sprintf("%s %s: %v", e.Bench, strings.ToLower(string(e.Scheme)), e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// fallbackOf is the graceful degradation chain of Options.Fallback:
+// GDP falls back to Profile Max, Profile Max to Naïve. Naïve and Unified
+// have no fallback — they are the floor.
+var fallbackOf = map[Scheme]Scheme{
+	SchemeGDP:        SchemeProfileMax,
+	SchemeProfileMax: SchemeNaive,
+}
+
+// attemptScheme runs one scheme with panic containment: a panic inside the
+// partitioners or the scheduler surfaces as a *parallel.PanicError labeled
+// with the scheme, so a fallback chain (or the pool) can keep going.
+func attemptScheme(c *Compiled, cfg *machine.Config, s Scheme, opts Options) (r *Result, err error) {
+	defer func() {
+		if pe := parallel.Recovered(string(s), -1, recover()); pe != nil {
+			r, err = nil, pe
+		}
+	}()
+	return RunScheme(c, cfg, s, opts)
+}
+
+// runCell evaluates one (benchmark, scheme) matrix cell. Under
+// Options.Fallback a failing or invalid scheme degrades along fallbackOf,
+// recording the original scheme and triggering error in Result.Degraded;
+// cancellation is never treated as a scheme failure.
+func runCell(c *Compiled, cfg *machine.Config, s Scheme, opts Options) (*Result, error) {
+	r, err := attemptScheme(c, cfg, s, opts)
+	if err == nil || !opts.Fallback {
+		return r, err
+	}
+	cause := err
+	for fb, ok := fallbackOf[s]; ok; fb, ok = fallbackOf[fb] {
+		if cerr := opts.ctxErr(); cerr != nil {
+			return nil, cause
+		}
+		if r, ferr := attemptScheme(c, cfg, fb, opts); ferr == nil {
+			r.Degraded = &Degradation{From: s, Err: cause}
+			return r, nil
+		}
+	}
+	return nil, cause
+}
+
 // RunAllSchemes evaluates the four Table 1 schemes on one prepared
 // benchmark, fanning the (independent) schemes across opts.Workers.
 func RunAllSchemes(c *Compiled, cfg *machine.Config, opts Options) (*BenchResult, error) {
-	brs, err := RunMatrix([]*Compiled{c}, cfg, opts)
+	return RunAllSchemesCtx(context.Background(), c, cfg, opts)
+}
+
+// RunAllSchemesCtx is RunAllSchemes with a cancellation context.
+func RunAllSchemesCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts Options) (*BenchResult, error) {
+	brs, err := RunMatrixCtx(ctx, []*Compiled{c}, cfg, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -51,17 +138,26 @@ func RunAllSchemes(c *Compiled, cfg *machine.Config, opts Options) (*BenchResult
 // partitioner and scheduler state, and the results are stitched back by
 // (benchmark, scheme) index, identical to the serial nested loop.
 func RunMatrix(cs []*Compiled, cfg *machine.Config, opts Options) ([]*BenchResult, error) {
+	return RunMatrixCtx(context.Background(), cs, cfg, opts)
+}
+
+// RunMatrixCtx is RunMatrix with a cancellation context: once ctx is done
+// no new cells start, in-flight cells abort between pipeline steps, and
+// the partial results are discarded (the error of the lowest-indexed cell
+// — usually ctx.Err() — is returned, deterministically).
+func RunMatrixCtx(ctx context.Context, cs []*Compiled, cfg *machine.Config, opts Options) ([]*BenchResult, error) {
+	opts.ctx = ctx
 	brs := make([]*BenchResult, len(cs))
 	for i, c := range cs {
 		brs[i] = &BenchResult{Name: c.Name}
 	}
 	ns := len(schemeRunners)
-	results, err := parallel.Map(context.Background(), len(cs)*ns, opts.Workers,
+	results, err := parallel.MapStage(ctx, "matrix", len(cs)*ns, opts.Workers,
 		func(_ context.Context, i int) (*Result, error) {
 			c, sr := cs[i/ns], schemeRunners[i%ns]
-			r, err := sr.run(c, cfg, opts)
+			r, err := runCell(c, cfg, sr.scheme, opts)
 			if err != nil {
-				return nil, fmt.Errorf("%s %s: %w", c.Name, strings.ToLower(string(sr.scheme)), err)
+				return nil, &CellError{Bench: c.Name, Scheme: sr.scheme, Err: err}
 			}
 			return r, nil
 		})
@@ -84,9 +180,15 @@ type BenchSpec struct {
 // (independent) front-end pipelines across workers (the usual sentinel:
 // <= 0 means runtime.GOMAXPROCS(0)). Results come back in spec order.
 func PrepareAll(specs []BenchSpec, workers int) ([]*Compiled, error) {
-	return parallel.Map(context.Background(), len(specs), workers,
-		func(_ context.Context, i int) (*Compiled, error) {
-			return Prepare(specs[i].Name, specs[i].Src)
+	return PrepareAllCtx(context.Background(), specs, workers)
+}
+
+// PrepareAllCtx is PrepareAll with a cancellation context; a ctx deadline
+// also bounds each benchmark's profiling interpreter run.
+func PrepareAllCtx(ctx context.Context, specs []BenchSpec, workers int) ([]*Compiled, error) {
+	return parallel.MapStage(ctx, "prepare", len(specs), workers,
+		func(ctx context.Context, i int) (*Compiled, error) {
+			return PrepareCtx(ctx, specs[i].Name, specs[i].Src)
 		})
 }
 

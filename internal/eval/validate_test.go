@@ -1,0 +1,81 @@
+package eval
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"mcpart/internal/bench"
+	"mcpart/internal/check"
+	"mcpart/internal/machine"
+)
+
+// allCompiled prepares every bundled benchmark once per test binary; the
+// validation matrix reuses them across machine presets.
+var allCompiled = sync.OnceValues(func() ([]*Compiled, error) {
+	var specs []BenchSpec
+	for _, b := range bench.All() {
+		specs = append(specs, BenchSpec{Name: b.Name, Src: b.Source})
+	}
+	return PrepareAll(specs, 0)
+})
+
+// TestValidateMatrix runs the independent validator over every benchmark x
+// scheme x machine preset: the whole pipeline must produce results the
+// first-principles re-derivation agrees with. In -short mode the benchmark
+// list is trimmed; the presets are not (they are the cheap axis).
+func TestValidateMatrix(t *testing.T) {
+	cs, err := allCompiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testing.Short() {
+		cs = cs[:4]
+	}
+	capped, err := machine.WithMemCapacities(machine.Paper2Cluster(5), 1<<16, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presets := []*machine.Config{
+		machine.Paper2Cluster(5),
+		machine.FourCluster(5),
+		machine.RingFour(5),
+		machine.Heterogeneous2(5),
+		capped,
+	}
+	for _, cfg := range presets {
+		brs, err := RunMatrix(cs, cfg, Options{Validate: true})
+		if err != nil {
+			var ce *check.Error
+			if errors.As(err, &ce) {
+				t.Fatalf("%s: validator rejected a pipeline result:\n%v", cfg.Name, ce)
+			}
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		for _, br := range brs {
+			for _, r := range []*Result{br.Unified, br.GDP, br.PMax, br.Naive} {
+				if r == nil || r.Cycles <= 0 {
+					t.Errorf("%s %s: missing or empty result", cfg.Name, br.Name)
+				}
+				if r != nil && r.Degraded != nil {
+					t.Errorf("%s %s %s: unexpected degradation: %v",
+						cfg.Name, br.Name, r.Scheme, r.Degraded.Err)
+				}
+			}
+		}
+	}
+}
+
+// TestValidateExhaustive validates every mapping of the Figure 9 sweep on a
+// small benchmark: the locked second pass must hold the invariants for
+// arbitrary (even terrible) data maps, not just scheme-chosen ones.
+func TestValidateExhaustive(t *testing.T) {
+	c := prepBench(t, "fir")
+	ex, err := Exhaustive(c, machine.Paper2Cluster(5), Options{Validate: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Points) == 0 {
+		t.Fatal("no points")
+	}
+}

@@ -7,6 +7,7 @@ package interp
 
 import (
 	"fmt"
+	"time"
 
 	"mcpart/internal/ir"
 )
@@ -98,10 +99,40 @@ func (p *Profile) countAccess(op *ir.Op, objID int) {
 // Freq returns the execution count of block b.
 func (p *Profile) Freq(b *ir.Block) int64 { return p.BlockFreq[b] }
 
+// BudgetError reports an exceeded execution budget: the step budget, the
+// heap-byte budget, or the wall-clock deadline. Budgets turn runaway
+// programs (fuzz inputs, adversarial benchmarks) into clean errors.
+type BudgetError struct {
+	// Resource is "step", "byte", or "deadline".
+	Resource string
+	// Limit is the configured budget (steps or bytes; zero for deadline).
+	Limit int64
+	// Fn names the function that was executing when the budget ran out.
+	Fn string
+}
+
+func (e *BudgetError) Error() string {
+	if e.Resource == "deadline" {
+		return fmt.Sprintf("interp: deadline exceeded in %s", e.Fn)
+	}
+	return fmt.Sprintf("interp: %s budget of %d exceeded in %s", e.Resource, e.Limit, e.Fn)
+}
+
+// deadlineStride is how many steps run between wall-clock checks: frequent
+// enough to stop promptly, rare enough that time.Now stays off the hot
+// path.
+const deadlineStride = 1 << 16
+
 // Options configures a run.
 type Options struct {
 	// MaxSteps bounds execution; 0 means the default of 50 million.
 	MaxSteps int64
+	// Deadline aborts execution once the wall clock passes it (checked
+	// every deadlineStride steps); the zero time means no deadline.
+	Deadline time.Time
+	// MaxBytes bounds the total data bytes the program may hold: global
+	// storage plus every malloc. 0 means no byte budget.
+	MaxBytes int64
 	// TraceMem, when non-nil, is invoked on every executed load and store
 	// with the accessed object ID, a unique instance number (globals get
 	// one instance; every malloc creates a fresh one), and the byte
@@ -111,13 +142,16 @@ type Options struct {
 
 // Interp executes one module.
 type Interp struct {
-	mod      *ir.Module
-	globals  []*Instance // indexed by object ID (nil for heap sites)
-	prof     *Profile
-	maxSteps int64
-	trace    func(objID int, inst int64, off int64, isStore bool)
-	nextInst int64
-	depth    int
+	mod        *ir.Module
+	globals    []*Instance // indexed by object ID (nil for heap sites)
+	prof       *Profile
+	maxSteps   int64
+	deadline   time.Time
+	maxBytes   int64
+	allocBytes int64
+	trace      func(objID int, inst int64, off int64, isStore bool)
+	nextInst   int64
+	depth      int
 }
 
 // maxCallDepth bounds recursion so runaway programs fail cleanly instead
@@ -132,6 +166,8 @@ func New(m *ir.Module, opts Options) *Interp {
 		globals:  make([]*Instance, len(m.Objects)),
 		prof:     NewProfile(),
 		maxSteps: opts.MaxSteps,
+		deadline: opts.Deadline,
+		maxBytes: opts.MaxBytes,
 		trace:    opts.TraceMem,
 	}
 	if in.maxSteps == 0 {
@@ -161,6 +197,7 @@ func New(m *ir.Module, opts Options) *Interp {
 		}
 		in.globals[o.ID] = inst
 		in.prof.ObjBytes[o.ID] = o.Size
+		in.allocBytes += o.Size
 	}
 	return in
 }
@@ -199,7 +236,11 @@ func (in *Interp) call(f *ir.Func, args []Value) (Value, error) {
 		for _, op := range b.Ops {
 			in.prof.Steps++
 			if in.prof.Steps > in.maxSteps {
-				return Value{}, fmt.Errorf("interp: step budget of %d exceeded in %s", in.maxSteps, f.Name)
+				return Value{}, &BudgetError{Resource: "step", Limit: in.maxSteps, Fn: f.Name}
+			}
+			if !in.deadline.IsZero() && in.prof.Steps%deadlineStride == 0 &&
+				time.Now().After(in.deadline) {
+				return Value{}, &BudgetError{Resource: "deadline", Fn: f.Name}
 			}
 			switch op.Opcode {
 			case ir.OpBr:
@@ -299,6 +340,10 @@ func (in *Interp) eval(op *ir.Op, a []Value) (Value, error) {
 	case ir.OpMalloc:
 		if a[0].Kind != ValInt || a[0].I < 0 {
 			return Value{}, fmt.Errorf("malloc of bad size %s", a[0])
+		}
+		in.allocBytes += a[0].I
+		if in.maxBytes > 0 && in.allocBytes > in.maxBytes {
+			return Value{}, &BudgetError{Resource: "byte", Limit: in.maxBytes, Fn: op.Block.Func.Name}
 		}
 		words := (a[0].I + 7) / 8
 		inst := &Instance{Obj: op.MallocSite, ID: in.nextInst, Words: make([]Value, words)}

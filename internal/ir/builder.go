@@ -40,6 +40,9 @@ func (bd *Builder) NewReg() VReg {
 }
 
 func (bd *Builder) emit(op *Op) *Op {
+	// Invariant: builder misuse (emitting with no block, or past a
+	// terminator) is a bug in the lowerer, never an input property, so it
+	// panics; the mcpart facade contains any escape into *InternalError.
 	if bd.cur == nil {
 		panic("ir: emit with no current block")
 	}
@@ -57,6 +60,8 @@ func (bd *Builder) emit(op *Op) *Op {
 // Emit appends an op with a fresh destination register and returns that
 // register. It panics for opcodes that define nothing.
 func (bd *Builder) Emit(opc Opcode, args ...Operand) VReg {
+	// Invariant: the opcode table is closed; a dst-less opcode here is a
+	// caller bug, not reachable from source programs.
 	if !opc.HasDst() {
 		panic(fmt.Sprintf("ir: Emit of %s which has no destination", opc))
 	}
@@ -68,6 +73,7 @@ func (bd *Builder) Emit(opc Opcode, args ...Operand) VReg {
 // EmitTo appends an op writing its result into the caller-chosen register
 // dst (used for non-SSA locals, whose register is fixed across assignments).
 func (bd *Builder) EmitTo(dst VReg, opc Opcode, args ...Operand) VReg {
+	// Invariant: same closed-opcode-table argument as Emit.
 	if !opc.HasDst() {
 		panic(fmt.Sprintf("ir: EmitTo of %s which has no destination", opc))
 	}
@@ -132,6 +138,8 @@ func (bd *Builder) BrCond(cond Operand, ifTrue, ifFalse *Block) {
 // Ret terminates the current block with a return of the given values
 // (zero or one operand).
 func (bd *Builder) Ret(vals ...Operand) {
+	// Invariant: multi-value returns do not exist in the IR; the lowerer
+	// can never produce one from a type-checked program.
 	if len(vals) > 1 {
 		panic("ir: Ret accepts at most one value")
 	}

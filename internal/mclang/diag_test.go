@@ -1,0 +1,130 @@
+package mclang
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDiagnostics pins the position and wording quality of front-end error
+// messages: every rejection must carry an exact line:column anchor and name
+// the offending construct, because the cmd tools print these verbatim as
+// their one-line failure diagnostics.
+func TestDiagnostics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		pos  string // exact "line:col" prefix
+		subs []string
+	}{
+		{
+			name: "undefined identifier",
+			src:  "func main() int { return x; }",
+			pos:  "1:26",
+			subs: []string{"undefined identifier", `"x"`},
+		},
+		{
+			name: "missing semicolon",
+			src:  "func main() int { int i return i; }",
+			pos:  "1:25",
+			subs: []string{"expected ;", `"return"`},
+		},
+		{
+			name: "dangling operator",
+			src:  "func main() int { return 1 +; }",
+			pos:  "1:29",
+			subs: []string{"expected expression", `";"`},
+		},
+		{
+			name: "value returned from void function",
+			src:  "func main() { return 1; }",
+			pos:  "1:15",
+			subs: []string{"void function", `"main"`, "returns a value"},
+		},
+		{
+			name: "function redeclared",
+			src:  "func f() int { return 0; } func f() int { return 1; } func main() int { return f(); }",
+			pos:  "1:28",
+			subs: []string{`"f"`, "redeclared"},
+		},
+		{
+			name: "assignment type mismatch",
+			src:  "func main() int { float x; x = 1; return 0; }",
+			pos:  "1:28",
+			subs: []string{"cannot assign int to float"},
+		},
+		{
+			name: "call of undefined function",
+			src:  "func main() int { return f(1); }",
+			pos:  "1:26",
+			subs: []string{"undefined function", `"f"`},
+		},
+		{
+			name: "mixed int float arithmetic",
+			src:  "func main() int { int *p; return *p + 1.5; }",
+			pos:  "1:37",
+			subs: []string{"invalid operands of +", "int and float", "cast explicitly"},
+		},
+		{
+			name: "break outside loop",
+			src:  "func main() int { break; }",
+			pos:  "1:19",
+			subs: []string{"break outside loop"},
+		},
+		{
+			name: "junk after last declaration",
+			src:  "func main() int { int i; i = 1; return i; } garbage",
+			pos:  "1:45",
+			subs: []string{"expected global or func declaration", `"garbage"`},
+		},
+		{
+			name: "missing main",
+			src:  "func nomain() int { return 0; }",
+			pos:  "1:1",
+			subs: []string{"no main function"},
+		},
+		{
+			name: "undefined identifier on later line",
+			src:  "global int g;\nfunc main() int {\n    return g + h;\n}",
+			pos:  "3:16",
+			subs: []string{"undefined identifier", `"h"`},
+		},
+		{
+			name: "arity mismatch names callee and counts",
+			src:  "func g(int a) int { return a; }\nfunc main() int { return g(); }",
+			pos:  "2:26",
+			subs: []string{`"g"`, "takes 1 arguments, got 0"},
+		},
+		{
+			name: "statement error anchored inside loop body",
+			src:  "func main() int {\n    int i;\n    for (i = 0; i < 4; i = i + 1) {\n        continue\n    }\n    return i;\n}",
+			pos:  "5:5",
+			subs: []string{"expected ;"},
+		},
+		{
+			name: "dereference of non-pointer",
+			src:  "func main() int { return *3; }",
+			pos:  "1:26",
+			subs: []string{"cannot dereference int"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			prog, err := Parse(c.src)
+			if err == nil {
+				_, err = Analyze(prog)
+			}
+			if err == nil {
+				t.Fatalf("Parse+Analyze accepted %q", c.src)
+			}
+			msg := err.Error()
+			if !strings.HasPrefix(msg, c.pos+":") {
+				t.Errorf("diagnostic %q not anchored at %s", msg, c.pos)
+			}
+			for _, sub := range c.subs {
+				if !strings.Contains(msg, sub) {
+					t.Errorf("diagnostic %q missing %q", msg, sub)
+				}
+			}
+		})
+	}
+}

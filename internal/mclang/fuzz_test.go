@@ -1,0 +1,65 @@
+package mclang
+
+import (
+	"strings"
+	"testing"
+
+	"mcpart/internal/ir"
+)
+
+// FuzzParse drives arbitrary bytes through the parser and the semantic
+// analyzer. The contract under fuzz is purely "no panic, no hang": bad
+// input must come back as a positioned error, never as a crash.
+func FuzzParse(f *testing.F) {
+	f.Add("func main() int { return 0; }")
+	f.Add("int g[8]; func main() int { g[0] = 1; return g[0]; }")
+	f.Add("func f(a int) int { return a * 2; } func main() int { return f(21); }")
+	f.Add("func main() int { int *p; p = malloc(16); *p = 7; return *p; }")
+	f.Add("func main() int { while (1) { } return 0; }")
+	f.Add("func main() int { float x; x = 1.5; return (int)x; }")
+	f.Add("func main() { }")
+	f.Add("\x00\xff\xfe")
+	f.Add("func func func ((((")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		_, _ = Analyze(prog) // must not panic on any parseable program
+	})
+}
+
+// FuzzCompile drives source through the full front end (parse, analyze,
+// lower, unroll) and verifies any module it accepts: a malformed module
+// slipping out of the front end would crash the partitioners downstream.
+func FuzzCompile(f *testing.F) {
+	f.Add("func main() int { return 0; }", 1)
+	f.Add("int g[8]; func main() int { int i; i = 0; while (i < 8) { g[i & 7] = i; i = i + 1; } return g[3]; }", 4)
+	f.Add("func sum(a int, b int) int { return a + b; } func main() int { return sum(1, 2); }", 2)
+	f.Add("func main() int { int *p; p = malloc(32); p[1] = 9; return p[1]; }", 3)
+	f.Fuzz(func(t *testing.T, src string, unroll int) {
+		if unroll < 1 || unroll > 8 {
+			unroll = 1 + (unroll&0x7+8)%8
+		}
+		mod, err := CompileUnrolled(src, "fuzz", unroll)
+		if err != nil {
+			// The front end rejected it; the only requirement on the
+			// message is that it carries a position or a clear reason.
+			if err.Error() == "" {
+				t.Fatal("empty error message")
+			}
+			return
+		}
+		if err := ir.Verify(mod); err != nil {
+			t.Fatalf("front end emitted an unverifiable module for %q: %v", trim(src), err)
+		}
+	})
+}
+
+func trim(s string) string {
+	s = strings.ReplaceAll(s, "\n", " ")
+	if len(s) > 120 {
+		return s[:120] + "..."
+	}
+	return s
+}

@@ -325,6 +325,9 @@ func cloneStmt(s Stmt) Stmt {
 	case *ContinueStmt:
 		return &ContinueStmt{Pos: x.Pos}
 	}
+	// Invariant: the statement AST is a closed set produced by this
+	// package's parser; an unknown node means cloneStmt fell behind a new
+	// AST variant — a maintenance bug, unreachable from any input.
 	panic("mclang: cloneStmt: unknown statement")
 }
 
@@ -359,6 +362,7 @@ func cloneExpr(e Expr) Expr {
 	case *CastExpr:
 		return &CastExpr{exprBase: exprBase{Pos: x.Pos}, To: x.To, X: cloneExpr(x.X)}
 	}
+	// Invariant: closed expression AST, same argument as cloneStmt.
 	panic("mclang: cloneExpr: unknown expression")
 }
 

@@ -11,7 +11,11 @@
 //   - first-error propagation: the error of the lowest-indexed failing
 //     item wins, matching what a serial loop would have returned;
 //   - cancellation: once any item fails (or the caller's context is
-//     canceled), workers stop picking up new items.
+//     canceled), workers stop picking up new items;
+//   - panic containment: a panicking work item never kills the process.
+//     The panic is recovered into a *PanicError (stage, item index, value,
+//     stack) that propagates like any other item error, so the pool drains
+//     cleanly and the caller decides how to degrade.
 //
 // Workers never share mutable state through this package; each writes only
 // its own result slot.
@@ -19,9 +23,60 @@ package parallel
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
+
+// PanicError is a panic recovered from a work item (or from any pipeline
+// stage that uses Capture). It records where the panic happened so a matrix
+// failure stays attributable, and carries the goroutine stack captured at
+// recovery time for debugging.
+type PanicError struct {
+	// Stage names the pipeline stage that panicked ("matrix", "exhaustive",
+	// a scheme name, ...); empty when the caller did not label the pool.
+	Stage string
+	// Index is the work-item index within the stage, -1 when the panic was
+	// captured outside an indexed pool.
+	Index int
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the panicking goroutine's stack, as formatted by
+	// runtime/debug.Stack at recovery time.
+	Stack []byte
+}
+
+// Unwrap exposes an error panic value to errors.Is/As chains.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+func (e *PanicError) Error() string {
+	where := e.Stage
+	if where == "" {
+		where = "worker"
+	}
+	if e.Index >= 0 {
+		return fmt.Sprintf("panic in %s item %d: %v", where, e.Index, e.Value)
+	}
+	return fmt.Sprintf("panic in %s: %v", where, e.Value)
+}
+
+// Recovered returns the error form of a recover() result: nil for nil, the
+// value itself when the panic value already is an error (wrapped so the
+// PanicError context is kept by errors.As), and a fresh PanicError
+// otherwise. Exposed so non-pool pipeline stages contain panics into the
+// same taxonomy.
+func Recovered(stage string, index int, v any) *PanicError {
+	if v == nil {
+		return nil
+	}
+	return &PanicError{Stage: stage, Index: index, Value: v, Stack: debug.Stack()}
+}
 
 // Workers normalizes a worker-count knob: zero or negative selects
 // runtime.GOMAXPROCS(0). This is the single sentinel convention every
@@ -39,7 +94,16 @@ func Workers(n int) int {
 // lets in-flight calls finish, and returns the error of the lowest-indexed
 // failure — exactly the error a serial i := 0..n-1 loop would have
 // surfaced. On error the partial results are discarded (nil is returned).
+// A panicking item is recovered into a *PanicError and treated as that
+// item's failure. Map is MapStage with an unlabeled stage.
 func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapStage(ctx, "", n, workers, fn)
+}
+
+// MapStage is Map with a stage label that identifies the pool in recovered
+// PanicErrors (and nowhere else — results and ordinary errors are
+// unaffected by the label).
+func MapStage[T any](ctx context.Context, stage string, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -50,6 +114,16 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 	if workers > n {
 		workers = n
 	}
+	// contained runs one work item with panic recovery: a panic becomes
+	// the item's error, identical at every worker count.
+	contained := func(ctx context.Context, i int) (v T, err error) {
+		defer func() {
+			if pe := Recovered(stage, i, recover()); pe != nil {
+				err = pe
+			}
+		}()
+		return fn(ctx, i)
+	}
 	out := make([]T, n)
 	if workers == 1 {
 		// Serial fast path: no goroutines, no channels — the -j 1
@@ -58,7 +132,7 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			v, err := fn(ctx, i)
+			v, err := contained(ctx, i)
 			if err != nil {
 				return nil, err
 			}
@@ -90,7 +164,7 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 				i := next
 				next++
 				mu.Unlock()
-				v, err := fn(ctx, i)
+				v, err := contained(ctx, i)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil || i < errIdx {

@@ -98,6 +98,62 @@ func TestMapCallerContext(t *testing.T) {
 	}
 }
 
+// TestMapPanicContained checks that a panicking work item is recovered
+// into a *PanicError (carrying stage, index, value, and a stack) instead of
+// crashing the process, at every worker count, and that the pool still
+// applies first-error-wins ordering to it.
+func TestMapPanicContained(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := MapStage(nil, "teststage", 20, workers, func(_ context.Context, i int) (int, error) {
+			if i == 3 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v (%T), want *PanicError", workers, err, err)
+		}
+		if pe.Stage != "teststage" || pe.Index != 3 || pe.Value != "kaboom" {
+			t.Errorf("workers=%d: PanicError = {%q, %d, %v}", workers, pe.Stage, pe.Index, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: PanicError carries no stack", workers)
+		}
+	}
+}
+
+// TestMapPanicFirstErrorWins: a low-index ordinary error beats a
+// high-index panic, matching the serial reference.
+func TestMapPanicFirstErrorWins(t *testing.T) {
+	want := errors.New("ordinary")
+	_, err := Map(nil, 20, 4, func(_ context.Context, i int) (int, error) {
+		switch i {
+		case 1:
+			time.Sleep(10 * time.Millisecond)
+			return 0, want
+		case 15:
+			panic("late panic")
+		}
+		return i, nil
+	})
+	if !errors.Is(err, want) {
+		t.Errorf("err = %v, want the lower-indexed ordinary error", err)
+	}
+}
+
+// TestPanicErrorUnwrap: an error panic value stays reachable via errors.Is.
+func TestPanicErrorUnwrap(t *testing.T) {
+	inner := errors.New("inner")
+	_, err := Map(nil, 1, 1, func(context.Context, int) (int, error) { panic(inner) })
+	if !errors.Is(err, inner) {
+		t.Errorf("errors.Is through PanicError failed: %v", err)
+	}
+	if Recovered("s", 0, nil) != nil {
+		t.Error("Recovered(nil) should be nil")
+	}
+}
+
 func TestDo(t *testing.T) {
 	var a, b atomic.Bool
 	err := Do(nil, 2,

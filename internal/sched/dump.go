@@ -2,36 +2,59 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"mcpart/internal/ir"
 	"mcpart/internal/machine"
 )
 
+// SlotDep is one dependence edge of a materialized schedule: the consumer
+// may not issue before Slots[From].Cycle + Lat.
+type SlotDep struct {
+	From int // index into BlockSchedule.Slots
+	Lat  int
+}
+
 // Slot is one issued operation in a concrete schedule: which cycle, which
-// cluster, which function unit kind, and what it is.
+// cluster, which function unit kind, what it is, and what it waits on.
 type Slot struct {
 	Cycle   int
 	Cluster int
 	Kind    machine.FUKind
 	Op      *ir.Op // nil for intercluster moves
 	IsMove  bool
+	// Lat is the operation's result latency (cycles from issue until the
+	// value is available to dependents).
+	Lat int
+	// Preds are the dependence edges into this slot, as the scheduler
+	// honored them. Exposed so external validators (internal/check) can
+	// re-verify ready times from first principles.
+	Preds []SlotDep
 }
 
-// BlockSchedule is a fully materialized block schedule for inspection.
+// BlockSchedule is a fully materialized block schedule for inspection and
+// independent validation. Slots are in node order: the block's ops first
+// (in program order), synthesized intercluster moves after, so SlotDep
+// indices are stable and deterministic.
 type BlockSchedule struct {
 	Block  *ir.Block
 	Length int
 	Slots  []Slot
+	// Hoisted are the loop-invariant live-in copies this block delegated
+	// to its loop entry (empty without a LoopCtx).
+	Hoisted []HoistedMove
 }
 
 // MaterializeBlock runs the list scheduler and returns the full schedule
 // (ScheduleBlock returns only the summary).
 func MaterializeBlock(b *ir.Block, asg []int, home []int, lc *LoopCtx, cfg *machine.Config) *BlockSchedule {
-	sc := NewScratch()
-	sc.buildNodes(b, asg, home, lc, cfg)
-	bs := &BlockSchedule{Block: b, Length: 1}
+	return NewScratch().MaterializeBlock(b, asg, home, lc, cfg)
+}
+
+// MaterializeBlock is the scratch-reusing form of the package function.
+func (sc *Scratch) MaterializeBlock(b *ir.Block, asg []int, home []int, lc *LoopCtx, cfg *machine.Config) *BlockSchedule {
+	hoisted := sc.buildNodes(b, asg, home, lc, cfg)
+	bs := &BlockSchedule{Block: b, Length: 1, Hoisted: hoisted}
 	if len(sc.nodes) == 0 {
 		return bs
 	}
@@ -43,15 +66,43 @@ func MaterializeBlock(b *ir.Block, asg []int, home []int, lc *LoopCtx, cfg *mach
 			Kind:    n.kind,
 			Op:      n.op,
 			IsMove:  n.isMove,
+			Lat:     n.lat,
+			Preds:   depSlots(n.preds),
 		})
 	}
-	sort.SliceStable(bs.Slots, func(i, j int) bool {
-		if bs.Slots[i].Cycle != bs.Slots[j].Cycle {
-			return bs.Slots[i].Cycle < bs.Slots[j].Cycle
-		}
-		return bs.Slots[i].Cluster < bs.Slots[j].Cluster
-	})
 	return bs
+}
+
+func depSlots(ds []dep) []SlotDep {
+	out := make([]SlotDep, len(ds))
+	for i, d := range ds {
+		out[i] = SlotDep{From: d.from, Lat: d.lat}
+	}
+	return out
+}
+
+// MaterializeFunc materializes every block schedule of f under asg with
+// profile-weighted value homes — exactly the schedules whose lengths
+// FuncCycles sums — plus the deduplicated hoisted loop-entry moves. The
+// returned schedules are indexed by block ID.
+func MaterializeFunc(f *ir.Func, asg []int, lc *LoopCtx, cfg *machine.Config, freq func(*ir.Block) int64) ([]*BlockSchedule, []HoistedMove) {
+	sc := NewScratch()
+	home := sc.home.HomeClustersFreq(f, asg, cfg.NumClusters(), freq)
+	out := make([]*BlockSchedule, len(f.Blocks))
+	var hoisted []HoistedMove
+	seen := map[HoistedMove]bool{}
+	for _, b := range f.Blocks {
+		bs := sc.MaterializeBlock(b, asg, home, lc, cfg)
+		out[b.ID] = bs
+		for _, h := range bs.Hoisted {
+			if !seen[h] {
+				seen[h] = true
+				hoisted = append(hoisted, h)
+			}
+		}
+	}
+	SortHoisted(hoisted)
+	return out, hoisted
 }
 
 // Format renders the schedule as a VLIW-style table, one row per cycle and

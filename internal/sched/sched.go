@@ -9,6 +9,7 @@
 package sched
 
 import (
+	"fmt"
 	"sort"
 
 	"mcpart/internal/interp"
@@ -243,14 +244,58 @@ func ScheduleBlockCtx(b *ir.Block, asg []int, home []int, lc *LoopCtx, cfg *mach
 	return NewScratch().ScheduleBlockCtx(b, asg, home, lc, cfg)
 }
 
+// AssignError reports an operation assigned to a cluster that has no
+// function unit able to execute it — such an op could never issue and the
+// list scheduler would stall forever.
+type AssignError struct {
+	Func    string
+	Block   int
+	Op      *ir.Op
+	Cluster int
+	Kind    machine.FUKind
+}
+
+func (e *AssignError) Error() string {
+	return fmt.Sprintf("sched: %s b%d: op %s assigned to cluster %d, which has no %s units",
+		e.Func, e.Block, e.Op, e.Cluster, e.Kind)
+}
+
+// CheckAssignable verifies that every op of f lands on a cluster with at
+// least one unit of its kind under asg, and that the assignment covers the
+// function. It is the recoverable front door for externally supplied
+// assignments (mcpart.FormatSchedule, the validator): callers that might
+// hold an invalid assignment check here and get an error, so the
+// scheduler's internal stall panic stays a pure invariant.
+func CheckAssignable(f *ir.Func, asg []int, cfg *machine.Config) error {
+	if len(asg) < f.NOps {
+		return fmt.Errorf("sched: %s: assignment covers %d of %d ops", f.Name, len(asg), f.NOps)
+	}
+	for _, b := range f.Blocks {
+		for _, op := range b.Ops {
+			c := asg[op.ID]
+			if c < 0 || c >= cfg.NumClusters() {
+				return fmt.Errorf("sched: %s b%d: op %s assigned to cluster %d of %d",
+					f.Name, b.ID, op, c, cfg.NumClusters())
+			}
+			if k := machine.KindOf(op.Opcode); cfg.Units(c, k) == 0 {
+				return &AssignError{Func: f.Name, Block: b.ID, Op: op, Cluster: c, Kind: k}
+			}
+		}
+	}
+	return nil
+}
+
 // ScheduleBlockCtx is the scratch-reusing form of the package function; it
 // produces bit-identical results.
 func (sc *Scratch) ScheduleBlockCtx(b *ir.Block, asg []int, home []int, lc *LoopCtx, cfg *machine.Config) (BlockResult, []HoistedMove) {
 	for _, op := range b.Ops {
 		c := asg[op.ID]
 		if k := machine.KindOf(op.Opcode); cfg.Units(c, k) == 0 {
-			panic("sched: op assigned to cluster " +
-				k.String() + " with zero units of its kind")
+			// Invariant: the computation partitioner only assigns ops to
+			// clusters with units of their kind, and external assignments
+			// are pre-validated via CheckAssignable — an unexecutable op
+			// here means a partitioner bug, not bad input.
+			panic(&AssignError{Func: b.Func.Name, Block: b.ID, Op: op, Cluster: c, Kind: k})
 		}
 	}
 	hoisted := sc.buildNodes(b, asg, home, lc, cfg)

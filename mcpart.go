@@ -24,16 +24,19 @@
 package mcpart
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"mcpart/internal/bench"
+	"mcpart/internal/check"
 	"mcpart/internal/eval"
 	"mcpart/internal/gdp"
 	"mcpart/internal/interp"
 	"mcpart/internal/ir"
 	"mcpart/internal/machine"
 	"mcpart/internal/mclang"
+	"mcpart/internal/parallel"
 	"mcpart/internal/rhop"
 	"mcpart/internal/sched"
 )
@@ -64,8 +67,65 @@ type Comparison = eval.BenchResult
 type DataMap = gdp.DataMap
 
 // Options tunes the partitioning schemes (see eval.Options, gdp.Options and
-// rhop.Options for the individual knobs and their paper defaults).
+// rhop.Options for the individual knobs and their paper defaults). Of note
+// for robustness: Validate re-checks every result with the independent
+// internal/check validator, and Fallback substitutes the next-simpler scheme
+// when one fails (recorded in Result.Degraded).
 type Options = eval.Options
+
+// Degradation records a scheme substitution performed under
+// Options.Fallback: which scheme was requested and why it failed.
+type Degradation = eval.Degradation
+
+// CellError attributes a matrix or exhaustive-search failure to its
+// (benchmark, scheme[, mask]) cell. errors.As recovers it from RunMatrix,
+// EvaluateAll, and ExhaustiveSearch errors.
+type CellError = eval.CellError
+
+// ValidationError is the independent result validator's report: the list of
+// invariant violations found in a scheme result (Options.Validate). External
+// callers recover it with errors.As; Has selects by violation class.
+type ValidationError = check.Error
+
+// ViolationClass partitions validator findings; ValidationError.Has
+// selects by class.
+type ViolationClass = check.Class
+
+// The validator's violation classes (see internal/check for the invariant
+// each one guards).
+const (
+	ViolationHome     = check.ClassHome
+	ViolationCapacity = check.ClassCapacity
+	ViolationLock     = check.ClassLock
+	ViolationAssign   = check.ClassAssign
+	ViolationFU       = check.ClassFU
+	ViolationBus      = check.ClassBus
+	ViolationReady    = check.ClassReady
+	ViolationAccount  = check.ClassAccount
+)
+
+// InternalError wraps a panic that escaped the partitioning pipeline: a bug
+// in mcpart, not bad input. The zero-tolerance contract of this facade is
+// that callers see it as an error, never as a crash.
+type InternalError struct {
+	Err error
+}
+
+func (e *InternalError) Error() string { return "mcpart: internal error: " + e.Err.Error() }
+
+// Unwrap exposes the recovered panic (often a *parallel.PanicError carrying
+// the stack) to errors.Is/As.
+func (e *InternalError) Unwrap() error { return e.Err }
+
+// contain converts a panic escaping a facade entry point into an
+// *InternalError. Deeper layers (the worker pool, the matrix runners)
+// already contain their own panics; this is the last line of defense for
+// serial code paths.
+func contain(err *error) {
+	if pe := parallel.Recovered("mcpart", -1, recover()); pe != nil {
+		*err = &InternalError{Err: pe}
+	}
+}
 
 // ExhaustiveResult is the Figure 9 dataset: every data mapping's cycles and
 // balance, with the GDP and Profile Max choices marked.
@@ -113,7 +173,8 @@ func Compile(name, source string) (*Program, error) {
 }
 
 // CompileWithOptions builds a Program with explicit front-end options.
-func CompileWithOptions(name, source string, opts CompileOptions) (*Program, error) {
+func CompileWithOptions(name, source string, opts CompileOptions) (p *Program, err error) {
+	defer contain(&err)
 	unroll := opts.Unroll
 	if unroll == 0 {
 		unroll = eval.DefaultUnroll
@@ -195,20 +256,17 @@ func (p *Program) MemoStats() MemoStats {
 
 // Evaluate runs one scheme on the program and machine.
 func Evaluate(p *Program, m *Machine, s Scheme, opts Options) (*Result, error) {
+	return EvaluateCtx(context.Background(), p, m, s, opts)
+}
+
+// EvaluateCtx is Evaluate under a context: cancellation stops the
+// partitioning pipeline between stages.
+func EvaluateCtx(ctx context.Context, p *Program, m *Machine, s Scheme, opts Options) (r *Result, err error) {
+	defer contain(&err)
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	switch s {
-	case SchemeUnified:
-		return eval.RunUnified(p.c, m, opts)
-	case SchemeGDP:
-		return eval.RunGDP(p.c, m, opts)
-	case SchemeProfileMax:
-		return eval.RunProfileMax(p.c, m, opts)
-	case SchemeNaive:
-		return eval.RunNaive(p.c, m, opts)
-	}
-	return nil, fmt.Errorf("mcpart: unknown scheme %q", s)
+	return eval.RunSchemeCtx(ctx, p.c, m, s, opts)
 }
 
 // EvaluateAll runs all four Table 1 schemes.
@@ -218,15 +276,22 @@ func EvaluateAll(p *Program, m *Machine) (*Comparison, error) {
 
 // EvaluateAllWithOptions runs all four schemes with explicit options.
 func EvaluateAllWithOptions(p *Program, m *Machine, opts Options) (*Comparison, error) {
+	return EvaluateAllCtx(context.Background(), p, m, opts)
+}
+
+// EvaluateAllCtx runs all four schemes under a context.
+func EvaluateAllCtx(ctx context.Context, p *Program, m *Machine, opts Options) (c *Comparison, err error) {
+	defer contain(&err)
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	return eval.RunAllSchemes(p.c, m, opts)
+	return eval.RunAllSchemesCtx(ctx, p.c, m, opts)
 }
 
 // EvaluateDataMap evaluates an externally chosen object mapping (lock the
 // memory operations, run the computation partitioner, schedule).
-func EvaluateDataMap(p *Program, m *Machine, dm DataMap, opts Options) (*Result, error) {
+func EvaluateDataMap(p *Program, m *Machine, dm DataMap, opts Options) (r *Result, err error) {
+	defer contain(&err)
 	if err := dm.Validate(p.c.Mod, m.NumClusters()); err != nil {
 		return nil, err
 	}
@@ -237,7 +302,13 @@ func EvaluateDataMap(p *Program, m *Machine, dm DataMap, opts Options) (*Result,
 // machine (the paper's Figure 9). maxObjects guards against blowup
 // (0 means 14, i.e. at most 16384 mappings).
 func ExhaustiveSearch(p *Program, m *Machine, opts Options, maxObjects int) (*ExhaustiveResult, error) {
-	return eval.Exhaustive(p.c, m, opts, maxObjects)
+	return ExhaustiveSearchCtx(context.Background(), p, m, opts, maxObjects)
+}
+
+// ExhaustiveSearchCtx is ExhaustiveSearch under a context.
+func ExhaustiveSearchCtx(ctx context.Context, p *Program, m *Machine, opts Options, maxObjects int) (r *ExhaustiveResult, err error) {
+	defer contain(&err)
+	return eval.ExhaustiveCtx(ctx, p.c, m, opts, maxObjects)
 }
 
 // RelativePerf returns scheme performance relative to the unified-memory
@@ -295,6 +366,9 @@ func FormatSchedule(p *Program, m *Machine, r *Result, funcName string) (string,
 	asg, ok := r.Assign[f]
 	if !ok {
 		return "", fmt.Errorf("mcpart: result has no assignment for %q", funcName)
+	}
+	if err := sched.CheckAssignable(f, asg, m); err != nil {
+		return "", fmt.Errorf("mcpart: %w", err)
 	}
 	return sched.FormatFunc(f, asg, m), nil
 }
