@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check fuzz bench bench-quick bench-partition eval fmt vet clean
+.PHONY: all build test test-short race check cover fuzz bench bench-quick bench-partition eval fmt vet clean
 
 all: build test
 
@@ -31,6 +31,23 @@ check: fmt-check build vet test race
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Coverage gate and report. The observability layer is pure bookkeeping —
+# if a branch there is hard to cover, it is dead weight on a hot path —
+# so internal/obs carries its own floor (OBS_COVER_MIN%), checked from a
+# dedicated profile. The repo-wide profile (coverage.out + coverage.txt)
+# is informational and uploaded as a CI artifact.
+OBS_COVER_MIN ?= 85
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out > coverage.txt
+	@tail -1 coverage.txt
+	$(GO) test -coverprofile=coverage_obs.out ./internal/obs/
+	@pct="$$($(GO) tool cover -func=coverage_obs.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}')"; \
+	echo "internal/obs coverage: $$pct% (floor $(OBS_COVER_MIN)%)"; \
+	awk -v p="$$pct" -v min="$(OBS_COVER_MIN)" 'BEGIN { exit !(p+0 < min+0) }' && \
+		{ echo "internal/obs coverage $$pct% is below the $(OBS_COVER_MIN)% floor"; exit 1; } || true
 
 # Native Go fuzzing over the three harnesses: raw bytes through the
 # parser, (source, unroll) pairs through the full front end with an IR

@@ -31,6 +31,16 @@
 // internal/memo cache that deduplicates per-function partition and
 // schedule computations across schemes; disable it with -nomemo to
 // measure the uncached engine).
+//
+// Observability (DESIGN.md §10):
+//
+//	gdpbench -all -j 1 -metrics   # metric summary (totals + per-bench/scheme)
+//	gdpbench -all -trace t.jsonl  # span trace, byte-identical at every -j
+//	gdpbench -all -prom m.prom    # metrics in Prometheus text format
+//
+// Traces are fully deterministic; metric values are too except the memo
+// hit/wait counts, which depend on worker scheduling — pin -j 1 to make
+// the -metrics output reproducible byte for byte.
 package main
 
 import (
@@ -45,6 +55,7 @@ import (
 	"mcpart/internal/bench"
 	"mcpart/internal/eval"
 	"mcpart/internal/machine"
+	"mcpart/internal/obs"
 	"mcpart/internal/parallel"
 	"mcpart/internal/plot"
 	"mcpart/internal/profutil"
@@ -83,6 +94,9 @@ func run(args []string, out io.Writer) (err error) {
 		legacyPart  = fs.Bool("legacypartition", false, "use the legacy graph partitioner instead of the gain-bucket FM fast path (for A/B comparison)")
 		validate    = fs.Bool("validate", false, "re-check every result with the independent schedule validator")
 		timeout     = fs.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+		traceFile   = fs.String("trace", "", "write the pipeline span trace to this file as sorted JSON lines")
+		metrics     = fs.Bool("metrics", false, "print the metric registry summary after the output")
+		promFile    = fs.String("prom", "", "write the metrics in Prometheus text format to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,14 +108,21 @@ func run(args []string, out io.Writer) (err error) {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	sinks := &obs.ToolSinks{TracePath: *traceFile, Summary: *metrics, PromPath: *promFile}
+	ctx = obs.With(ctx, sinks.Observer())
 	prof, err := profutil.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		return err
 	}
-	h := &harness{ctx: ctx, filter: *filter, workers: *jobs, noMemo: *noMemo, legacyPart: *legacyPart, validate: *validate, cache: map[string]*eval.Compiled{}, out: out}
+	h := &harness{ctx: ctx, filter: *filter, workers: *jobs, noMemo: *noMemo, legacyPart: *legacyPart, validate: *validate, observer: sinks.Observer(), cache: map[string]*eval.Compiled{}, out: out}
 	err = h.emit(*jsonOut, *svgDir, *table, *figure, *compileTime, *all)
 	if stopErr := prof.Stop(); err == nil {
 		err = stopErr
+	}
+	// Flush the observability sinks even when the run failed: a partial
+	// trace is exactly what a failed run should leave behind.
+	if ferr := sinks.Flush(out); err == nil {
+		err = ferr
 	}
 	if err != nil {
 		return err
@@ -181,13 +202,14 @@ type harness struct {
 	noMemo     bool // -nomemo: bypass the partition-result cache
 	legacyPart bool // -legacypartition: route bisections through the legacy path
 	validate   bool // -validate: independent re-check of every result
+	observer   *obs.Observer
 	cache      map[string]*eval.Compiled
 	out        io.Writer
 }
 
 // options builds the evaluation options every scheme run shares.
 func (h *harness) options() eval.Options {
-	return eval.Options{Workers: h.workers, NoMemo: h.noMemo, LegacyPartition: h.legacyPart, Validate: h.validate}
+	return eval.Options{Workers: h.workers, NoMemo: h.noMemo, LegacyPartition: h.legacyPart, Validate: h.validate, Observer: h.observer}
 }
 
 // emitCacheStats prints one memoization-counter line per compiled

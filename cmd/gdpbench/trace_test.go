@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// traceBytes runs gdpbench with -trace into a temp file and returns the
+// raw trace bytes.
+func traceBytes(t *testing.T, args ...string) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	runBenchCmd(t, append(args, "-trace", path)...)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	return data
+}
+
+// saveTraceArtifact copies a mismatching trace into $TRACE_ARTIFACT_DIR
+// (when set) so CI can upload it on failure.
+func saveTraceArtifact(t *testing.T, name string, data []byte) {
+	dir := os.Getenv("TRACE_ARTIFACT_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("artifact dir: %v", err)
+		return
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Logf("artifact write: %v", err)
+		return
+	}
+	t.Logf("saved trace artifact %s", path)
+}
+
+// TestTraceDeterministicAcrossWorkers pins the observability layer's core
+// contract: the span trace a run emits is byte-identical at every -j
+// level, because span timestamps come from the fixed clock and the sink
+// sorts its lines on write. Two benchmarks × two machine presets
+// (Figure 7's 1-cycle machine and Figure 8a's 5-cycle machine).
+func TestTraceDeterministicAcrossWorkers(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"fir-fig7", []string{"-figure", "7", "-run", "fir"}},
+		{"fir-fig8a", []string{"-figure", "8a", "-run", "fir"}},
+		{"halftone-fig7", []string{"-figure", "7", "-run", "halftone"}},
+		{"halftone-fig8a", []string{"-figure", "8a", "-run", "halftone"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			j1 := traceBytes(t, append([]string{"-j", "1"}, tc.args...)...)
+			j8 := traceBytes(t, append([]string{"-j", "8"}, tc.args...)...)
+			if len(j1) == 0 {
+				t.Fatal("empty trace at -j 1")
+			}
+			if !bytes.Equal(j1, j8) {
+				saveTraceArtifact(t, tc.name+"-j1.jsonl", j1)
+				saveTraceArtifact(t, tc.name+"-j8.jsonl", j8)
+				t.Errorf("trace differs between -j 1 (%d bytes) and -j 8 (%d bytes)", len(j1), len(j8))
+			}
+		})
+	}
+}
+
+// TestTraceRerunIdentical pins run-to-run determinism on one preset: two
+// identical invocations produce identical trace files.
+func TestTraceRerunIdentical(t *testing.T) {
+	a := traceBytes(t, "-figure", "8a", "-run", "fir", "-j", "4")
+	b := traceBytes(t, "-figure", "8a", "-run", "fir", "-j", "4")
+	if !bytes.Equal(a, b) {
+		saveTraceArtifact(t, "rerun-a.jsonl", a)
+		saveTraceArtifact(t, "rerun-b.jsonl", b)
+		t.Error("re-running the same invocation changed the trace")
+	}
+}

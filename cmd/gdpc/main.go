@@ -8,6 +8,13 @@
 //	gdpc -bench rawcaudio -scheme gdp -latency 5
 //	gdpc -src kernel.mc -scheme all -latency 10 -clusters 2
 //	gdpc -bench fir -dump-ir
+//
+// Observability (DESIGN.md §10): -metrics prints the run's counter/
+// histogram summary (memo hits, FM moves, scheduled cycles, ... with
+// per-scheme labels), -trace FILE writes the deterministic span trace
+// as sorted JSON lines, -prom FILE the metrics in Prometheus text
+// format. gdpc evaluates schemes serially, so all three outputs are
+// reproducible byte for byte.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 
 	"mcpart"
 	"mcpart/internal/ir"
+	"mcpart/internal/obs"
 	"mcpart/internal/parallel"
 	"mcpart/internal/sched"
 )
@@ -53,6 +61,9 @@ func run(args []string, out io.Writer) (err error) {
 		objects   = fs.Bool("objects", true, "print the data-object table")
 		validate  = fs.Bool("validate", false, "re-check every result with the independent schedule validator")
 		timeout   = fs.Duration("timeout", 0, "abort after this duration (0 = no limit)")
+		traceFile = fs.String("trace", "", "write the pipeline span trace to this file as sorted JSON lines")
+		metrics   = fs.Bool("metrics", false, "print the metric registry summary after the output")
+		promFile  = fs.String("prom", "", "write the metrics in Prometheus text format to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +75,13 @@ func run(args []string, out io.Writer) (err error) {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	sinks := &obs.ToolSinks{TracePath: *traceFile, Summary: *metrics, PromPath: *promFile}
+	ctx = mcpart.ObserveContext(ctx, sinks.Observer())
+	defer func() {
+		if ferr := sinks.Flush(out); err == nil {
+			err = ferr
+		}
+	}()
 
 	if *list {
 		for _, n := range mcpart.BenchmarkNames() {
@@ -72,7 +90,7 @@ func run(args []string, out io.Writer) (err error) {
 		return nil
 	}
 
-	prog, err := load(*srcPath, *benchN, *unroll)
+	prog, err := load(ctx, *srcPath, *benchN, *unroll)
 	if err != nil {
 		return err
 	}
@@ -110,7 +128,7 @@ func run(args []string, out io.Writer) (err error) {
 	}
 	var unified *mcpart.Result
 	for _, s := range schemes {
-		r, err := mcpart.EvaluateCtx(ctx, prog, m, s, mcpart.Options{Validate: *validate})
+		r, err := mcpart.EvaluateCtx(ctx, prog, m, s, mcpart.Options{Validate: *validate, Observer: sinks.Observer()})
 		if err != nil {
 			return err
 		}
@@ -135,7 +153,7 @@ func run(args []string, out io.Writer) (err error) {
 	return nil
 }
 
-func load(srcPath, benchName string, unroll int) (*mcpart.Program, error) {
+func load(ctx context.Context, srcPath, benchName string, unroll int) (*mcpart.Program, error) {
 	switch {
 	case srcPath != "" && benchName != "":
 		return nil, fmt.Errorf("use only one of -src and -bench")
@@ -144,13 +162,13 @@ func load(srcPath, benchName string, unroll int) (*mcpart.Program, error) {
 		if err != nil {
 			return nil, err
 		}
-		return mcpart.CompileWithOptions(srcPath, string(data), mcpart.CompileOptions{Unroll: unroll})
+		return mcpart.CompileCtx(ctx, srcPath, string(data), mcpart.CompileOptions{Unroll: unroll})
 	case benchName != "":
 		src, err := mcpart.BenchmarkSource(benchName)
 		if err != nil {
 			return nil, err
 		}
-		return mcpart.CompileWithOptions(benchName, src, mcpart.CompileOptions{Unroll: unroll})
+		return mcpart.CompileCtx(ctx, benchName, src, mcpart.CompileOptions{Unroll: unroll})
 	}
 	return nil, fmt.Errorf("need -src FILE or -bench NAME (try -list)")
 }

@@ -25,6 +25,13 @@
 // complement-symmetry pruning; -nomemo disables the former for A/B
 // timing, and -cachestats reports what the cache did (to stderr, so CSV
 // output stays clean).
+//
+// Observability (DESIGN.md §10): -metrics prints the sweep's metric
+// summary (eval_masks, memo hits, FM moves, ...), -trace FILE the
+// deterministic per-mask span trace as sorted JSON lines, -prom FILE
+// the metrics in Prometheus text format. Traces are byte-identical at
+// every -j; pin -j 1 to make the memo hit counts in -metrics
+// reproducible too.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 
 	"mcpart"
 	"mcpart/internal/eval"
+	"mcpart/internal/obs"
 	"mcpart/internal/parallel"
 	"mcpart/internal/profutil"
 )
@@ -70,6 +78,9 @@ func run(args []string, out io.Writer) (err error) {
 		legacy   = fs.Bool("legacypartition", false, "use the legacy graph partitioner instead of the gain-bucket FM fast path")
 		validate = fs.Bool("validate", false, "re-check every mapping's result with the independent schedule validator")
 		timeout  = fs.Duration("timeout", 0, "abort the search after this duration (0 = no limit)")
+		traceF   = fs.String("trace", "", "write the pipeline span trace to this file as sorted JSON lines")
+		metrics  = fs.Bool("metrics", false, "print the metric registry summary after the output")
+		promF    = fs.String("prom", "", "write the metrics in Prometheus text format to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +92,13 @@ func run(args []string, out io.Writer) (err error) {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	sinks := &obs.ToolSinks{TracePath: *traceF, Summary: *metrics, PromPath: *promF}
+	ctx = mcpart.ObserveContext(ctx, sinks.Observer())
+	defer func() {
+		if ferr := sinks.Flush(out); err == nil {
+			err = ferr
+		}
+	}()
 
 	prof, err := profutil.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -96,12 +114,12 @@ func run(args []string, out io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
-	p, err := mcpart.Compile(*benchN, src)
+	p, err := mcpart.CompileCtx(ctx, *benchN, src, mcpart.CompileOptions{})
 	if err != nil {
 		return err
 	}
 	m := mcpart.Paper2Cluster(*latency)
-	ex, err := mcpart.ExhaustiveSearchCtx(ctx, p, m, mcpart.Options{Workers: *jobs, NoMemo: *noMemo, LegacyPartition: *legacy, Validate: *validate}, *maxObj)
+	ex, err := mcpart.ExhaustiveSearchCtx(ctx, p, m, mcpart.Options{Workers: *jobs, NoMemo: *noMemo, LegacyPartition: *legacy, Validate: *validate, Observer: sinks.Observer()}, *maxObj)
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@ package eval
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"mcpart/internal/machine"
 	"mcpart/internal/mclang"
 	"mcpart/internal/memo"
+	"mcpart/internal/obs"
 	"mcpart/internal/opt"
 	"mcpart/internal/pointsto"
 	"mcpart/internal/rhop"
@@ -137,16 +139,28 @@ func PrepareFullCtx(ctx context.Context, name, src string, unroll int, optimize 
 			iopts.Deadline = dl
 		}
 	}
+	o := obs.From(ctx).Named("prepare")
+	psp := o.Span(name)
+	po := psp.Observer()
+	sp := po.Span("parse")
 	mod, err := mclang.CompileUnrolled(src, name, unroll)
+	sp.End()
 	if err != nil {
+		psp.End()
 		return nil, fmt.Errorf("eval: %s: %w", name, err)
 	}
 	if optimize {
 		opt.Optimize(mod)
 	}
+	sp = po.Span("pointsto")
 	pointsto.Analyze(mod)
+	sp.End()
+	sp = po.Span("profile")
 	in := interp.New(mod, iopts)
 	v, err := in.RunMain()
+	sp.End()
+	psp.End()
+	o.Counter("prepare_programs").Add(1)
 	if err != nil {
 		return nil, fmt.Errorf("eval: %s: profile run: %w", name, err)
 	}
@@ -193,6 +207,13 @@ type Result struct {
 	// comparisons must exclude them (see detFields in the tests).
 	MemoPartitionHits int
 	MemoScheduleHits  int
+
+	// Metrics is the snapshot of this run's scoped metric registry —
+	// every counter the pipeline recorded while producing this result
+	// (eval_cycles, fm_moves, sched_bus_busy_cycles, ...). Nil unless
+	// Options.Observer was set. Like the memo hit counters it is
+	// telemetry: memo-dependent values vary with evaluation order.
+	Metrics obs.Snapshot
 }
 
 // Options bundles the per-scheme knobs.
@@ -233,6 +254,14 @@ type Options struct {
 	// then Naive (ProfileMax falls back to Naive), recording the
 	// substitution in Result.Degraded instead of failing the whole matrix.
 	Fallback bool
+	// Observer receives the run's observability stream: hierarchical
+	// spans for every pipeline phase and a typed metric registry (see
+	// internal/obs and DESIGN.md §10). Each scheme run records into a
+	// scoped child registry whose snapshot lands in Result.Metrics; the
+	// totals are then folded back into this observer's registry twice —
+	// once unlabeled and once labeled `bench="...",scheme="..."`. Nil
+	// disables observability at zero cost on the hot paths.
+	Observer *obs.Observer
 	// Inject, when non-nil, is consulted at the start of each pipeline
 	// stage — "data" (GDP's object partitioning), "partition", "sched",
 	// "validate" — with the scheme under evaluation; a non-nil return
@@ -283,7 +312,10 @@ func (o Options) validateResult(c *Compiled, cfg *machine.Config, res *Result) e
 	if err := o.inject(res.Scheme, "validate"); err != nil {
 		return fmt.Errorf("validate: %w", err)
 	}
-	return check.Validate(c.Mod, c.Prof, cfg, check.Result{
+	sp := o.Observer.Span("validate")
+	defer sp.End()
+	o.Observer.Counter("eval_validations").Add(1)
+	err := check.Validate(c.Mod, c.Prof, cfg, check.Result{
 		Scheme:        string(res.Scheme),
 		DataMap:       res.DataMap,
 		Assign:        res.Assign,
@@ -293,6 +325,13 @@ func (o Options) validateResult(c *Compiled, cfg *machine.Config, res *Result) e
 		Groups:        res.Groups,
 		CheckCapacity: res.Scheme == SchemeGDP,
 	}, check.Options{})
+	if err != nil {
+		var ce *check.Error
+		if errors.As(err, &ce) {
+			o.Observer.Counter("eval_validation_violations").Add(int64(len(ce.Violations)))
+		}
+	}
+	return err
 }
 
 func (o Options) pmaxTol() float64 { return defaults.Float(o.ProfileMaxTol, 0.10) }
@@ -307,6 +346,9 @@ func (o Options) rhopOpts() rhop.Options {
 	if r.Workers == 0 {
 		r.Workers = o.Workers
 	}
+	if r.Obs == nil {
+		r.Obs = o.Observer
+	}
 	return r
 }
 
@@ -317,7 +359,58 @@ func (o Options) gdpOpts() gdp.Options {
 	if g.Workers == 0 {
 		g.Workers = o.Workers
 	}
+	if g.Obs == nil {
+		g.Obs = o.Observer
+	}
 	return g
+}
+
+// noopDone is beginRun's completion callback when no observer is attached;
+// a shared instance keeps the unobserved path allocation-free.
+var noopDone = func(*Result, error) {}
+
+// beginRun opens one scheme run's observability scope: a span named after
+// the scheme (attributed with the benchmark), and a scoped child registry
+// that collects only this run's metrics. The returned Options carry the
+// scoped observer so every downstream layer (gdp, rhop, sched, validate)
+// records into it; the returned done callback — which the RunX functions
+// defer — stamps the headline counters, snapshots the scoped registry into
+// Result.Metrics, and folds the totals back into the parent registry both
+// unlabeled and labeled `bench="...",scheme="..."`. With a nil observer
+// everything here is a no-op.
+func beginRun(c *Compiled, s Scheme, opts Options) (Options, func(*Result, error)) {
+	parent := opts.Observer
+	if parent == nil {
+		return opts, noopDone
+	}
+	// The memoization cache is shared across every run over this Compiled,
+	// so its counters belong to the parent (global) registry, not the
+	// scoped per-run one.
+	if opts.useMemo(c) {
+		c.memo.SetObserver(parent)
+	}
+	sp := parent.Span(string(s), "bench", c.Name)
+	o := parent.Scoped().Named(string(s))
+	opts.Observer = o
+	done := func(r *Result, err error) {
+		if err != nil {
+			sp.SetAttr("error", "true")
+		}
+		if r != nil {
+			reg := o.Registry()
+			reg.Counter("eval_cycles").Add(r.Cycles)
+			reg.Counter("eval_moves").Add(r.Moves)
+			reg.Counter("eval_detailed_runs").Add(int64(r.DetailedRuns))
+			reg.Counter("memo_partition_hits").Add(int64(r.MemoPartitionHits))
+			reg.Counter("memo_schedule_hits").Add(int64(r.MemoScheduleHits))
+			snap := reg.Snapshot()
+			r.Metrics = snap
+			parent.Registry().Import(snap, "")
+			parent.Registry().Import(snap, `bench="`+c.Name+`",scheme="`+string(r.Scheme)+`"`)
+		}
+		sp.End()
+	}
+	return opts, done
 }
 
 // useMemo reports whether this run should consult c's memoization cache.
@@ -407,6 +500,8 @@ func partitionModule(c *Compiled, cfg *machine.Config, dm gdp.DataMap,
 	if err := opts.ctxErr(); err != nil {
 		return nil, err
 	}
+	sp := opts.Observer.Span("partition")
+	defer sp.End()
 	start := time.Now()
 	defer func() {
 		res.PartitionTime += time.Since(start)
@@ -454,8 +549,19 @@ func programCycles(c *Compiled, cfg *machine.Config, asg map[*ir.Func][]int,
 	if err := opts.ctxErr(); err != nil {
 		return 0, 0, err
 	}
+	sp := opts.Observer.Span("sched")
+	defer sp.End()
 	if !opts.useMemo(c) {
-		cycles, moves = sched.ProgramCycles(c.Mod, asg, cfg, c.Prof)
+		// ProgramCycles is exactly this per-function loop (pinned in the
+		// sched tests); running it through an owned Scratch lets the
+		// observer's sched counters attach.
+		sc := sched.NewScratch()
+		sc.SetObserver(opts.Observer)
+		for _, f := range c.Mod.Funcs {
+			cyc, mv := sc.FuncCycles(f, asg[f], cfg, c.Prof)
+			cycles += cyc
+			moves += mv
+		}
 		return cycles, moves, nil
 	}
 	mkey := cfg.CacheKey()
@@ -465,6 +571,7 @@ func programCycles(c *Compiled, cfg *machine.Config, asg map[*ir.Func][]int,
 		v, hit, _ := c.memo.Do(key, func() (any, error) {
 			if sc == nil {
 				sc = sched.NewScratch()
+				sc.SetObserver(opts.Observer)
 			}
 			cyc, mv := sc.FuncCycles(f, asg[f], cfg, c.Prof)
 			return [2]int64{cyc, mv}, nil
@@ -498,7 +605,9 @@ func finish(c *Compiled, cfg *machine.Config, res *Result, asg map[*ir.Func][]in
 // RunUnified evaluates the unified-memory upper bound: plain RHOP with no
 // object homes; every cluster reaches the single multiported memory at the
 // uniform load latency.
-func RunUnified(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
+func RunUnified(c *Compiled, cfg *machine.Config, opts Options) (r *Result, err error) {
+	opts, done := beginRun(c, SchemeUnified, opts)
+	defer func() { done(r, err) }()
 	res := &Result{Scheme: SchemeUnified}
 	asg, err := partitionModule(c, cfg, nil, nil, opts.rhopOpts(), opts, res)
 	if err != nil {
@@ -510,7 +619,9 @@ func RunUnified(c *Compiled, cfg *machine.Config, opts Options) (*Result, error)
 // RunGDP evaluates the paper's Global Data Partitioning: first pass
 // partitions data objects over the program-level graph, second pass runs
 // RHOP with memory operations locked to their object's home cluster.
-func RunGDP(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
+func RunGDP(c *Compiled, cfg *machine.Config, opts Options) (r *Result, err error) {
+	opts, done := beginRun(c, SchemeGDP, opts)
+	defer func() { done(r, err) }()
 	res := &Result{Scheme: SchemeGDP}
 	if err := opts.inject(SchemeGDP, "data"); err != nil {
 		return nil, fmt.Errorf("data partition: %w", err)
@@ -519,7 +630,9 @@ func RunGDP(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
 	if gopts.MemFractions == nil {
 		gopts.MemFractions = cfg.MemFractions()
 	}
+	dsp := opts.Observer.Span("data")
 	dp, err := gdp.PartitionData(c.Mod, c.Prof, cfg.NumClusters(), gopts)
+	dsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -536,7 +649,9 @@ func RunGDP(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
 // RunWithDataMap evaluates an externally chosen object mapping (used by the
 // Figure 9 exhaustive search): lock memory ops to dm's homes and run the
 // second pass.
-func RunWithDataMap(c *Compiled, cfg *machine.Config, dm gdp.DataMap, opts Options) (*Result, error) {
+func RunWithDataMap(c *Compiled, cfg *machine.Config, dm gdp.DataMap, opts Options) (r *Result, err error) {
+	opts, done := beginRun(c, SchemeFixed, opts)
+	defer func() { done(r, err) }()
 	res := &Result{Scheme: SchemeFixed, DataMap: dm}
 	res.Locks = computeLocks(c, dm, opts)
 	asg, err := partitionModule(c, cfg, dm, res.Locks, opts.rhopOpts(), opts, res)
@@ -551,7 +666,9 @@ func RunWithDataMap(c *Compiled, cfg *machine.Config, dm gdp.DataMap, opts Optio
 // greedily assign groups to their majority cluster in descending dynamic
 // frequency order under a memory balance threshold, then re-run RHOP with
 // the resulting locks (two detailed-partitioner runs, §4.5).
-func RunProfileMax(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
+func RunProfileMax(c *Compiled, cfg *machine.Config, opts Options) (r *Result, err error) {
+	opts, done := beginRun(c, SchemeProfileMax, opts)
+	defer func() { done(r, err) }()
 	res := &Result{Scheme: SchemeProfileMax}
 	k := cfg.NumClusters()
 	firstAsg, err := partitionModule(c, cfg, nil, nil, opts.rhopOpts(), opts, res)
@@ -675,7 +792,9 @@ func RunProfileMax(c *Compiled, cfg *machine.Config, opts Options) (*Result, err
 // accessed most often, re-home every memory operation accordingly (the
 // scheduler inserts the data transfer moves), and reschedule without
 // repartitioning. Memory balance is deliberately ignored.
-func RunNaive(c *Compiled, cfg *machine.Config, opts Options) (*Result, error) {
+func RunNaive(c *Compiled, cfg *machine.Config, opts Options) (r *Result, err error) {
+	opts, done := beginRun(c, SchemeNaive, opts)
+	defer func() { done(r, err) }()
 	res := &Result{Scheme: SchemeNaive}
 	k := cfg.NumClusters()
 	asg, err := partitionModule(c, cfg, nil, nil, opts.rhopOpts(), opts, res)

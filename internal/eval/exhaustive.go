@@ -6,6 +6,7 @@ import (
 
 	"mcpart/internal/gdp"
 	"mcpart/internal/machine"
+	"mcpart/internal/obs"
 	"mcpart/internal/parallel"
 )
 
@@ -65,7 +66,9 @@ func ExhaustiveCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts O
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx = obs.With(ctx, opts.Observer)
 	opts.ctx = ctx
+	opts.Observer = opts.Observer.Named("exhaustive").Named(c.Name)
 	if cfg.NumClusters() != 2 {
 		return nil, fmt.Errorf("eval: exhaustive search needs a 2-cluster machine, got %d", cfg.NumClusters())
 	}
@@ -85,6 +88,9 @@ func ExhaustiveCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts O
 	canon := cfg.SymmetricClusters()
 	full := uint64(1)<<uint(n) - 1
 	evalMask := func(mask uint64) (MappingPoint, error) {
+		sp := opts.Observer.Span(fmt.Sprintf("mask%04x", mask))
+		defer sp.End()
+		opts.Observer.Counter("eval_masks").Add(1)
 		emask := mask
 		if canon && emask&1 == 1 {
 			emask = ^emask & full // cluster-swap to the canonical representative
@@ -97,7 +103,9 @@ func ExhaustiveCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts O
 				b1 += bytes[j]
 			}
 		}
-		r, err := RunWithDataMap(c, cfg, dm, opts)
+		mopts := opts
+		mopts.Observer = sp.Observer()
+		r, err := RunWithDataMap(c, cfg, dm, mopts)
 		if err != nil {
 			return MappingPoint{}, &CellError{Bench: c.Name, Scheme: SchemeFixed, Mask: mask, HasMask: true, Err: err}
 		}

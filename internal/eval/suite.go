@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"mcpart/internal/machine"
+	"mcpart/internal/obs"
 	"mcpart/internal/parallel"
 )
 
@@ -49,7 +50,7 @@ func RunScheme(c *Compiled, cfg *machine.Config, s Scheme, opts Options) (*Resul
 // between pipeline steps once ctx is done, and any interpreter work
 // respects the deadline.
 func RunSchemeCtx(ctx context.Context, c *Compiled, cfg *machine.Config, s Scheme, opts Options) (*Result, error) {
-	opts.ctx = ctx
+	opts.ctx = obs.With(ctx, opts.Observer)
 	return RunScheme(c, cfg, s, opts)
 }
 
@@ -111,6 +112,7 @@ func runCell(c *Compiled, cfg *machine.Config, s Scheme, opts Options) (*Result,
 		}
 		if r, ferr := attemptScheme(c, cfg, fb, opts); ferr == nil {
 			r.Degraded = &Degradation{From: s, Err: cause}
+			opts.Observer.Counter("eval_degradations").Add(1)
 			return r, nil
 		}
 	}
@@ -146,7 +148,12 @@ func RunMatrix(cs []*Compiled, cfg *machine.Config, opts Options) ([]*BenchResul
 // the partial results are discarded (the error of the lowest-indexed cell
 // — usually ctx.Err() — is returned, deterministically).
 func RunMatrixCtx(ctx context.Context, cs []*Compiled, cfg *machine.Config, opts Options) ([]*BenchResult, error) {
+	ctx = obs.With(ctx, opts.Observer)
 	opts.ctx = ctx
+	mo := opts.Observer.Named("matrix")
+	// Register the degradation counter up front so a clean sweep reports
+	// an explicit eval_degradations 0 instead of omitting the metric.
+	opts.Observer.Counter("eval_degradations")
 	brs := make([]*BenchResult, len(cs))
 	for i, c := range cs {
 		brs[i] = &BenchResult{Name: c.Name}
@@ -155,7 +162,10 @@ func RunMatrixCtx(ctx context.Context, cs []*Compiled, cfg *machine.Config, opts
 	results, err := parallel.MapStage(ctx, "matrix", len(cs)*ns, opts.Workers,
 		func(_ context.Context, i int) (*Result, error) {
 			c, sr := cs[i/ns], schemeRunners[i%ns]
-			r, err := runCell(c, cfg, sr.scheme, opts)
+			copts := opts
+			copts.Observer = mo.Named(c.Name)
+			copts.Observer.Counter("eval_cells").Add(1)
+			r, err := runCell(c, cfg, sr.scheme, copts)
 			if err != nil {
 				return nil, &CellError{Bench: c.Name, Scheme: sr.scheme, Err: err}
 			}

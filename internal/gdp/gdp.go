@@ -17,6 +17,7 @@ import (
 	"mcpart/internal/defaults"
 	"mcpart/internal/interp"
 	"mcpart/internal/ir"
+	"mcpart/internal/obs"
 	"mcpart/internal/partition"
 	"mcpart/internal/rhop"
 )
@@ -62,6 +63,10 @@ type Options struct {
 	// Workers bounds the fast partitioner's multi-start fan-out; 0 means
 	// runtime.GOMAXPROCS(0). Results are identical for every value.
 	Workers int
+	// Obs, when non-nil, records the data-partitioning metrics
+	// (gdp_partitions, gdp_groups, gdp_cut_weight) and is threaded into
+	// the graph partitioner for its fm_* metrics. Nil costs nothing.
+	Obs *obs.Observer
 }
 
 func (o Options) memTol() float64 { return defaults.Float(o.MemTol, 0.10) }
@@ -281,6 +286,7 @@ func PartitionData(m *ir.Module, prof *interp.Profile, k int, opts Options) (*Re
 		Fractions: opts.MemFractions,
 		Legacy:    opts.LegacyPartition,
 		Workers:   opts.Workers,
+		Obs:       opts.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -302,6 +308,11 @@ func PartitionData(m *ir.Module, prof *interp.Profile, k int, opts Options) (*Re
 		for _, objID := range grp {
 			res.GroupBytes[gi] += objBytes(m.Objects[objID], prof)
 		}
+	}
+	if opts.Obs != nil {
+		opts.Obs.Counter("gdp_partitions").Add(1)
+		opts.Obs.Counter("gdp_groups").Add(int64(len(res.Groups)))
+		opts.Obs.Counter("gdp_cut_weight").Add(res.CutWeight)
 	}
 	return res, nil
 }

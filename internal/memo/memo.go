@@ -38,6 +38,8 @@ import (
 
 import "sync"
 
+import "mcpart/internal/obs"
+
 // DefaultCapacity bounds a New(0) cache: comfortably above the largest
 // exhaustive sweep the tools run by default (2^14 masks) times a typical
 // function count, so the Figure 9 search never thrashes, while still
@@ -55,6 +57,10 @@ type Cache struct {
 	flights map[string]*flight       // keys currently being computed
 
 	hits, misses, waits, evictions uint64
+
+	// Mirror counters into an observer's registry (see SetObserver). The
+	// nil defaults are no-ops, so the hot paths below Add unconditionally.
+	oHits, oMisses, oWaits, oEvict *obs.Counter
 }
 
 type entry struct {
@@ -83,6 +89,22 @@ func New(capacity int) *Cache {
 	}
 }
 
+// SetObserver mirrors the cache's hit/miss/wait/eviction counters into
+// o's registry (metrics memo_hits, memo_misses, memo_waits,
+// memo_evictions) from this call on. A nil observer detaches. Safe to
+// call concurrently with Do; last writer wins.
+func (c *Cache) SetObserver(o *obs.Observer) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.oHits = o.Counter("memo_hits")
+	c.oMisses = o.Counter("memo_misses")
+	c.oWaits = o.Counter("memo_waits")
+	c.oEvict = o.Counter("memo_evictions")
+	c.mu.Unlock()
+}
+
 // Do returns the cached value for key, computing and storing it with
 // compute on a miss. hit reports whether the value came from the cache
 // (including waiting on another goroutine's in-flight computation of the
@@ -100,12 +122,15 @@ func (c *Cache) Do(key string, compute func() (any, error)) (v any, hit bool, er
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
+		c.oHits.Add(1)
 		c.mu.Unlock()
 		return el.Value.(*entry).value, true, nil
 	}
 	if fl, ok := c.flights[key]; ok {
 		c.waits++
 		c.hits++
+		c.oWaits.Add(1)
+		c.oHits.Add(1)
 		c.mu.Unlock()
 		<-fl.done
 		return fl.value, true, fl.err
@@ -113,6 +138,7 @@ func (c *Cache) Do(key string, compute func() (any, error)) (v any, hit bool, er
 	fl := &flight{done: make(chan struct{})}
 	c.flights[key] = fl
 	c.misses++
+	c.oMisses.Add(1)
 	c.mu.Unlock()
 
 	fl.value, fl.err = compute()
@@ -137,9 +163,11 @@ func (c *Cache) Get(key string) (any, bool) {
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
+		c.oHits.Add(1)
 		return el.Value.(*entry).value, true
 	}
 	c.misses++
+	c.oMisses.Add(1)
 	return nil, false
 }
 
@@ -167,6 +195,7 @@ func (c *Cache) insert(key string, value any) {
 		c.ll.Remove(oldest)
 		delete(c.entries, oldest.Value.(*entry).key)
 		c.evictions++
+		c.oEvict.Add(1)
 	}
 }
 

@@ -1,0 +1,20 @@
+package obs
+
+import "time"
+
+// Clock supplies trace timestamps as int64 ticks. The pipeline never
+// interprets the values beyond writing them into trace events, so any
+// monotonic-ish source works. Tests and the cmd tools use FixedClock
+// so traces are byte-identical across runs and -j worker counts.
+type Clock func() int64
+
+// FixedClock returns a Clock that always reads v. This is the
+// determinism anchor: with a fixed clock, every span starts and ends
+// at the same instant, so the sorted JSON-lines trace depends only on
+// which spans ran, not on when or on which goroutine.
+func FixedClock(v int64) Clock { return func() int64 { return v } }
+
+// WallClock returns a Clock reading real time in nanoseconds since the
+// Unix epoch. Traces taken with it are not reproducible byte-for-byte;
+// use it only for interactive latency investigation.
+func WallClock() Clock { return func() int64 { return time.Now().UnixNano() } }

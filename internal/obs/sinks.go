@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// splitName separates an embedded label set from a metric name:
+// `memo_hits{bench="fir"}` → ("memo_hits", `bench="fir"`).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// WriteSummary writes a human-readable, deterministically ordered
+// rendering of the snapshot: one line per metric, counters and gauges
+// with their value, histograms with count, sum and mean.
+func WriteSummary(w io.Writer, s Snapshot) error {
+	if len(s) == 0 {
+		_, err := fmt.Fprintln(w, "metrics: none recorded")
+		return err
+	}
+	width := 0
+	for _, m := range s {
+		if len(m.Name) > width {
+			width = len(m.Name)
+		}
+	}
+	if _, err := fmt.Fprintln(w, "metrics:"); err != nil {
+		return err
+	}
+	for _, m := range s {
+		var err error
+		switch m.Kind {
+		case KindHistogram:
+			avg := 0.0
+			if m.Count > 0 {
+				avg = float64(m.Sum) / float64(m.Count)
+			}
+			_, err = fmt.Fprintf(w, "  %-*s  histogram  n=%d sum=%d avg=%.2f\n",
+				width, m.Name, m.Count, m.Sum, avg)
+		default:
+			_, err = fmt.Fprintf(w, "  %-*s  %-9s  %d\n", width, m.Name, m.Kind, m.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text
+// exposition format. Labels embedded in metric names (as produced by
+// Registry.Import) are re-expanded into proper label sets; histogram
+// buckets are emitted cumulatively with the conventional le label and
+// +Inf overflow bucket.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	typed := make(map[string]bool)
+	for _, m := range s {
+		base, labels := splitName(m.Name)
+		if !typed[base] {
+			typed[base] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, m.Kind); err != nil {
+				return err
+			}
+		}
+		switch m.Kind {
+		case KindHistogram:
+			cum := int64(0)
+			for _, b := range m.Buckets {
+				cum += b.N
+				le := "+Inf"
+				if b.Le != math.MaxInt64 {
+					le = fmt.Sprintf("%d", b.Le)
+				}
+				ls := fmt.Sprintf("le=%q", le)
+				if labels != "" {
+					ls = labels + "," + ls
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, ls, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", base, curly(labels), m.Sum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, curly(labels), m.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", base, curly(labels), m.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// curly wraps a non-empty label string in braces.
+func curly(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// ToolSinks is the command-line wiring shared by the cmd tools' -trace,
+// -metrics, and -prom flags: it lazily assembles one deterministic
+// observer (fixed clock, so trace files are byte-identical across runs
+// and -j levels) and flushes its sinks when the tool finishes. The zero
+// value with no paths set is inert: Observer returns nil and Flush does
+// nothing, so an unobserved tool run pays nothing.
+type ToolSinks struct {
+	// TracePath receives the span trace as sorted JSON lines ("" = off).
+	TracePath string
+	// Summary selects the human-readable metric summary on the tool's
+	// standard output.
+	Summary bool
+	// PromPath receives the metrics in Prometheus text exposition format
+	// ("" = off).
+	PromPath string
+
+	o  *Observer
+	tr *Trace
+}
+
+// enabled reports whether any sink was requested.
+func (t *ToolSinks) enabled() bool {
+	return t.TracePath != "" || t.Summary || t.PromPath != ""
+}
+
+// Observer returns the tool's observer, building it on first use; nil
+// when no sink was requested, which downstream layers treat as
+// observability-off.
+func (t *ToolSinks) Observer() *Observer {
+	if !t.enabled() {
+		return nil
+	}
+	if t.o == nil {
+		if t.TracePath != "" {
+			t.tr = NewTrace()
+		}
+		t.o = New(NewRegistry(), t.tr, FixedClock(0))
+	}
+	return t.o
+}
+
+// Flush writes every requested sink: the summary to w, the trace and
+// Prometheus files to their paths. Call it after the tool's normal
+// output (and on failure too — a partial trace is exactly what a failed
+// run should leave behind).
+func (t *ToolSinks) Flush(w io.Writer) error {
+	if t.o == nil {
+		return nil
+	}
+	var snap Snapshot
+	if t.Summary || t.PromPath != "" {
+		snap = t.o.Registry().Snapshot()
+	}
+	if t.Summary {
+		if err := WriteSummary(w, snap); err != nil {
+			return err
+		}
+	}
+	if t.PromPath != "" {
+		if err := writeFile(t.PromPath, func(f io.Writer) error {
+			return WritePrometheus(f, snap)
+		}); err != nil {
+			return err
+		}
+	}
+	if t.TracePath != "" {
+		if err := writeFile(t.TracePath, t.tr.WriteJSONL); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	werr := render(f)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("obs: write %s: %w", path, werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("obs: %w", cerr)
+	}
+	return nil
+}

@@ -27,6 +27,8 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+
+	"mcpart/internal/obs"
 )
 
 // PanicError is a panic recovered from a work item (or from any pipeline
@@ -114,14 +116,28 @@ func MapStage[T any](ctx context.Context, stage string, n, workers int, fn func(
 	if workers > n {
 		workers = n
 	}
+	// Observability: count tasks per stage and contained panics. The
+	// counters are resolved once per MapStage call (nil when no observer
+	// rides the context), so the per-item cost is one nil-safe Add.
+	var tasks, panics *obs.Counter
+	if o := obs.From(ctx); o != nil {
+		label := stage
+		if label == "" {
+			label = "unnamed"
+		}
+		tasks = o.Counter(`parallel_tasks{stage="` + label + `"}`)
+		panics = o.Counter("parallel_panics")
+	}
 	// contained runs one work item with panic recovery: a panic becomes
 	// the item's error, identical at every worker count.
 	contained := func(ctx context.Context, i int) (v T, err error) {
 		defer func() {
 			if pe := Recovered(stage, i, recover()); pe != nil {
+				panics.Add(1)
 				err = pe
 			}
 		}()
+		tasks.Add(1)
 		return fn(ctx, i)
 	}
 	out := make([]T, n)

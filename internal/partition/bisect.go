@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"mcpart/internal/defaults"
+	"mcpart/internal/obs"
 )
 
 // Options tunes the partitioner.
@@ -32,6 +33,11 @@ type Options struct {
 	// multi-start initial partitioning; 0 means runtime.GOMAXPROCS(0).
 	// The result is identical for every value.
 	Workers int
+	// Obs, when non-nil, receives the fast path's refinement metrics
+	// (fm_moves, fm_rollbacks, fm_coarsen_levels, fm_bisections). Hot
+	// loops tally into scratch fields and flush once per bisection, so a
+	// nil Obs costs nothing on the refinement path.
+	Obs *obs.Observer
 }
 
 // frac returns part p's target share for a 2-way split. Malformed

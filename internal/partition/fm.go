@@ -5,6 +5,7 @@ import (
 	"slices"
 	"sync"
 
+	"mcpart/internal/obs"
 	"mcpart/internal/parallel"
 )
 
@@ -123,6 +124,36 @@ type fmScratch struct {
 	csrUsed  int
 	cmaps    [][]int32
 	cmapUsed int
+	// observability tallies: accepted FM moves (kept prefix + rebalance
+	// applies) and rolled-back tentative moves, accumulated by
+	// refineFMPasses and flushed once per bisection when Options.Obs is
+	// set. Plain ints on the scratch keep the nil-observer hot path free
+	// of any observability cost.
+	tMoves, tRollbacks int64
+}
+
+// resetTally clears the observability tallies; called when a scratch is
+// (re)acquired for a bisection so pooled state never leaks across calls.
+func (fs *fmScratch) resetTally() { fs.tMoves, fs.tRollbacks = 0, 0 }
+
+// flushTally publishes the accumulated tallies (fs plus any extra
+// trajectory scratches) and the coarsening depth to o. No-op when o is
+// nil.
+func flushTally(o *obs.Observer, fs *fmScratch, extra []*fmScratch, coarsenLevels int) {
+	if o == nil {
+		return
+	}
+	mv, rb := fs.tMoves, fs.tRollbacks
+	for _, s := range extra {
+		if s != nil {
+			mv += s.tMoves
+			rb += s.tRollbacks
+		}
+	}
+	o.Counter("fm_moves").Add(mv)
+	o.Counter("fm_rollbacks").Add(rb)
+	o.Counter("fm_bisections").Add(1)
+	o.Histogram("fm_coarsen_levels").Observe(int64(coarsenLevels))
 }
 
 // getCSR hands out a recycled coarse-graph shell (arrays keep capacity).
@@ -408,11 +439,15 @@ func bisectTiny(g *Graph, opts Options) []int {
 // level.
 func bisectFast(g *Graph, opts Options) []int {
 	if g.Len() <= exhaustiveMax {
+		if opts.Obs != nil {
+			opts.Obs.Counter("fm_tiny_bisections").Add(1)
+		}
 		return bisectTiny(g, opts)
 	}
 	fs := scratchPool.Get().(*fmScratch)
 	defer scratchPool.Put(fs)
 	fs.csrUsed, fs.cmapUsed = 0, 0
+	fs.resetTally()
 	c := buildCSRInto(fs.getCSR(), g)
 	total := c.TotalW()
 	levels := []lvl{{c: c}}
@@ -467,6 +502,7 @@ func bisectFast(g *Graph, opts Options) []int {
 		cands = rankCandidates(levels[shallow].c, total, cands, opts)
 	}
 	if shallow == 0 {
+		flushTally(opts.Obs, fs, nil, len(levels)-1)
 		return widen(cands[0]) // finest level reached; cands[0] is the winner
 	}
 	// Uncoarsen level by level. Candidates refine independently at each
@@ -493,6 +529,7 @@ func bisectFast(g *Graph, opts Options) []int {
 				func(_ context.Context, i int) ([]int32, error) {
 					if scratches[i] == nil {
 						scratches[i] = scratchPool.Get().(*fmScratch)
+						scratches[i].resetTally()
 					}
 					part := project(fine, cands[i])
 					refineFM(scratches[i], fine.c, total, part, opts)
@@ -505,7 +542,9 @@ func bisectFast(g *Graph, opts Options) []int {
 			}
 		}
 	}
-	return widen(rankCandidates(c, total, cands, opts)[0])
+	out := widen(rankCandidates(c, total, cands, opts)[0])
+	flushTally(opts.Obs, fs, scratches[1:], len(levels)-1)
+	return out
 }
 
 // rankCandidates orders parts best-first by (balance violation, cut,
@@ -972,6 +1011,8 @@ func refineFMPasses(fs *fmScratch, c *CSR, total []int64, part []int32, opts Opt
 		for i := len(moves) - 1; i >= bestLen; i-- {
 			apply(int(moves[i]), false)
 		}
+		fs.tMoves += int64(bestLen)
+		fs.tRollbacks += int64(len(moves) - bestLen)
 		if bestCum > 0 {
 			moved = true
 		}
@@ -1001,6 +1042,7 @@ func refineFMPasses(fs *fmScratch, c *CSR, total []int64, part []int32, opts Opt
 				break // no single move reduces violation further
 			}
 			apply(best, false)
+			fs.tMoves++
 			moved = true
 		}
 		if !moved {

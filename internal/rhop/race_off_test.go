@@ -1,0 +1,5 @@
+//go:build !race
+
+package rhop
+
+const raceEnabled = false

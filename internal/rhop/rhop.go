@@ -31,6 +31,7 @@ import (
 	"mcpart/internal/ir"
 	"mcpart/internal/machine"
 	"mcpart/internal/memo"
+	"mcpart/internal/obs"
 	"mcpart/internal/partition"
 	"mcpart/internal/sched"
 )
@@ -72,6 +73,12 @@ type Options struct {
 	// every worker count), so — like NoIncremental — it is excluded from
 	// CacheKey.
 	Workers int
+	// Obs, when non-nil, receives the refinement metrics (rhop_regions,
+	// rhop_moves_accepted, rhop_cost_evals) and is threaded into the
+	// graph partitioner. Value-neutral and excluded from CacheKey; the
+	// refinement loops tally into scratch ints and flush once per
+	// PartitionFunc call, so nil costs nothing on the hot path.
+	Obs *obs.Observer
 }
 
 func (o Options) passes() int  { return defaults.Int(o.RefinePasses, 4) }
@@ -100,6 +107,9 @@ func (o Options) CacheKey() string {
 type scratch struct {
 	sched *sched.Scratch
 	home  sched.HomeScratch
+	// observability tallies, accumulated by the refinement loops and
+	// flushed once per PartitionFunc call when Options.Obs is set.
+	tRegions, tMoves, tEvals int64
 	// homeInc is the refinement loops' incrementally-maintained home
 	// table. It is separate from home because realRegionCost and the
 	// from-scratch estimator clobber home, while a regionEval needs its
@@ -144,6 +154,12 @@ func PartitionFunc(f *ir.Func, prof *interp.Profile, mcfg *machine.Config, locks
 		if c < 0 {
 			return nil, fmt.Errorf("rhop: %s op %d left unassigned", f.Name, id)
 		}
+	}
+	if opts.Obs != nil {
+		opts.Obs.Counter("rhop_functions").Add(1)
+		opts.Obs.Counter("rhop_regions").Add(sc.tRegions)
+		opts.Obs.Counter("rhop_moves_accepted").Add(sc.tMoves)
+		opts.Obs.Counter("rhop_cost_evals").Add(sc.tEvals)
 	}
 	return asg, nil
 }
@@ -204,6 +220,7 @@ func partitionRegion(sc *scratch, f *ir.Func, region *cfg.Region, du *cfg.DefUse
 	if len(regionOps) == 0 {
 		return nil
 	}
+	sc.tRegions++
 
 	// Graph nodes: region ops, then one anchor per live-in value with a
 	// known home cluster.
@@ -295,6 +312,7 @@ func partitionRegion(sc *scratch, f *ir.Func, region *cfg.Region, du *cfg.DefUse
 		Tol:     []float64{opts.tol()},
 		Legacy:  opts.LegacyPartition,
 		Workers: opts.Workers,
+		Obs:     opts.Obs,
 	})
 	if err != nil {
 		return err
@@ -629,6 +647,7 @@ func refineRegion(sc *scratch, f *ir.Func, region *cfg.Region, lc *sched.LoopCtx
 					continue
 				}
 				re.move(op, c)
+				sc.tEvals++
 				if nc := re.cost(); nc < bestCost {
 					bestC, bestCost = c, nc
 				}
@@ -637,6 +656,7 @@ func refineRegion(sc *scratch, f *ir.Func, region *cfg.Region, lc *sched.LoopCtx
 			if bestC != orig {
 				cur = bestCost
 				improved = true
+				sc.tMoves++
 			}
 		}
 		if !improved {
@@ -701,6 +721,7 @@ func pairRefineRegion(sc *scratch, f *ir.Func, region *cfg.Region, du *cfg.DefUs
 				}
 				re.move(pr.a, c)
 				re.move(pr.b, c)
+				sc.tEvals++
 				if nc := re.cost(); nc < bestCost {
 					bestA, bestB, bestCost = c, c, nc
 				}
@@ -710,6 +731,7 @@ func pairRefineRegion(sc *scratch, f *ir.Func, region *cfg.Region, du *cfg.DefUs
 			if bestA != origA || bestB != origB {
 				cur = bestCost
 				improved = true
+				sc.tMoves++
 			}
 		}
 		if !improved {

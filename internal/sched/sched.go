@@ -15,6 +15,7 @@ import (
 	"mcpart/internal/interp"
 	"mcpart/internal/ir"
 	"mcpart/internal/machine"
+	"mcpart/internal/obs"
 )
 
 // EverywhereHome marks a value as available on every cluster at block entry
@@ -127,8 +128,9 @@ func (hs *HomeScratch) MoveDef(r ir.VReg, numClusters, from, to int, w int64) {
 
 // BlockResult is the outcome of scheduling one basic block.
 type BlockResult struct {
-	Length int // schedule length in cycles
-	Moves  int // intercluster move operations inserted
+	Length  int // schedule length in cycles
+	Moves   int // intercluster move operations inserted
+	BusBusy int // cycles in which at least one intercluster move issued
 }
 
 // node is a schedulable item: a real op or a synthesized intercluster move.
@@ -189,7 +191,33 @@ type Scratch struct {
 	usage    []int // [cycle][cluster][kind] flattened
 	bus      []int // moves issued per cycle
 
+	// lastBusBusy is the bus-occupied cycle count of the most recent
+	// listSchedule call, tracked incrementally at move-issue time so the
+	// nil-observer path pays no extra scan.
+	lastBusBusy int
+
+	// Observer counters flushed by FuncCycles (nil when detached). Only
+	// the evaluation layer's final-cycle scratch carries them; the
+	// refinement searches in rhop use plain scratches, so the metrics
+	// reflect reported schedules, not search traffic.
+	oCycles, oMoves, oBusBusy, oHoisted *obs.Counter
+
 	home HomeScratch
+}
+
+// SetObserver attaches o's registry to the scratch: every later
+// FuncCycles call adds its profile-weighted totals to the sched_cycles,
+// sched_moves, sched_bus_busy_cycles and sched_hoisted_moves counters.
+// A nil observer detaches.
+func (sc *Scratch) SetObserver(o *obs.Observer) {
+	if o == nil {
+		sc.oCycles, sc.oMoves, sc.oBusBusy, sc.oHoisted = nil, nil, nil, nil
+		return
+	}
+	sc.oCycles = o.Counter("sched_cycles")
+	sc.oMoves = o.Counter("sched_moves")
+	sc.oBusBusy = o.Counter("sched_bus_busy_cycles")
+	sc.oHoisted = o.Counter("sched_hoisted_moves")
 }
 
 // NewScratch returns an empty scratch; buffers grow on demand and are
@@ -309,7 +337,7 @@ func (sc *Scratch) ScheduleBlockCtx(b *ir.Block, asg []int, home []int, lc *Loop
 			moves++
 		}
 	}
-	return BlockResult{Length: length, Moves: moves}, hoisted
+	return BlockResult{Length: length, Moves: moves, BusBusy: sc.lastBusBusy}, hoisted
 }
 
 // buildNodes fills sc.nodes with b's ops plus the intercluster moves the
@@ -557,6 +585,7 @@ func (sc *Scratch) listSchedule(cfg *machine.Config) int {
 	}
 
 	length := 1
+	busBusy := 0
 	for t := 0; unscheduled > 0; t++ {
 		ensure(t)
 		// Gather ready nodes.
@@ -584,6 +613,9 @@ func (sc *Scratch) listSchedule(cfg *machine.Config) int {
 			}
 			*slot(t, nd.cluster, nd.kind)++
 			if nd.isMove {
+				if sc.bus[t] == 0 {
+					busBusy++
+				}
 				sc.bus[t]++
 			}
 			nd.start = t
@@ -600,6 +632,7 @@ func (sc *Scratch) listSchedule(cfg *machine.Config) int {
 			}
 		}
 	}
+	sc.lastBusBusy = busBusy
 	return length
 }
 
@@ -698,6 +731,7 @@ func ProgramCycles(m *ir.Module, asg map[*ir.Func][]int, cfg *machine.Config, pr
 // (see internal/memo).
 func (sc *Scratch) FuncCycles(f *ir.Func, asg []int, cfg *machine.Config, prof *interp.Profile) (cycles, moves int64) {
 	res := sc.ScheduleFuncFreq(f, asg, NewLoopCtx(f), cfg, prof.Freq)
+	var busBusy, hoistedMoves int64
 	for _, b := range f.Blocks {
 		freq := prof.Freq(b)
 		if freq == 0 {
@@ -705,11 +739,19 @@ func (sc *Scratch) FuncCycles(f *ir.Func, asg []int, cfg *machine.Config, prof *
 		}
 		cycles += freq * int64(res.Blocks[b.ID].Length)
 		moves += freq * int64(res.Blocks[b.ID].Moves)
+		busBusy += freq * int64(res.Blocks[b.ID].BusBusy)
 	}
 	for _, h := range res.Hoisted {
 		entries := res.LC.EntryFreq(h.Loop, prof.Freq)
 		moves += entries
 		cycles += entries
+		hoistedMoves += entries
+	}
+	if sc.oCycles != nil {
+		sc.oCycles.Add(cycles)
+		sc.oMoves.Add(moves)
+		sc.oBusBusy.Add(busBusy)
+		sc.oHoisted.Add(hoistedMoves)
 	}
 	return cycles, moves
 }

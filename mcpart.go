@@ -36,6 +36,7 @@ import (
 	"mcpart/internal/ir"
 	"mcpart/internal/machine"
 	"mcpart/internal/mclang"
+	"mcpart/internal/obs"
 	"mcpart/internal/parallel"
 	"mcpart/internal/rhop"
 	"mcpart/internal/sched"
@@ -131,6 +132,52 @@ func contain(err *error) {
 // balance, with the GDP and Profile Max choices marked.
 type ExhaustiveResult = eval.ExhaustiveResult
 
+// Observer is the pipeline observability handle (see internal/obs and
+// DESIGN.md §10): hierarchical spans over every pipeline phase plus a typed
+// counter/gauge/histogram registry. Attach one via Options.Observer (scheme
+// runs) or ObserveContext (compilation). A nil *Observer is fully inert and
+// costs nothing on the hot paths.
+type Observer = obs.Observer
+
+// MetricsRegistry is an Observer's typed metric store.
+type MetricsRegistry = obs.Registry
+
+// Metrics is a point-in-time, name-sorted snapshot of a metrics registry
+// (also found per scheme run in Result.Metrics).
+type Metrics = obs.Snapshot
+
+// TraceSink accumulates span events; WriteJSONL renders them as sorted
+// JSON lines, byte-identical for every worker count.
+type TraceSink = obs.Trace
+
+// Observability constructors and sinks, re-exported from internal/obs.
+var (
+	// NewTrace returns an empty span-trace sink.
+	NewTrace = obs.NewTrace
+	// NewMetricsRegistry returns an empty metric registry.
+	NewMetricsRegistry = obs.NewRegistry
+	// NewObserver assembles an observer from a registry, an optional trace
+	// sink, and a clock (nil = the deterministic fixed clock).
+	NewObserver = obs.New
+	// FixedClock is a clock pinned to one instant: deterministic traces.
+	FixedClock = obs.FixedClock
+	// WallClock reads real time (traces then vary run to run).
+	WallClock = obs.WallClock
+	// WriteMetricsSummary renders a snapshot as an aligned human-readable
+	// table.
+	WriteMetricsSummary = obs.WriteSummary
+	// WriteMetricsProm renders a snapshot in Prometheus text exposition
+	// format.
+	WriteMetricsProm = obs.WritePrometheus
+)
+
+// ObserveContext attaches an observer to ctx so context-driven stages
+// (benchmark compilation, the parallel worker pool) can record into it; a
+// nil observer returns ctx unchanged.
+func ObserveContext(ctx context.Context, o *Observer) context.Context {
+	return obs.With(ctx, o)
+}
+
 // Machine presets.
 var (
 	// Paper2Cluster is the paper's evaluation machine: 2 homogeneous
@@ -173,13 +220,20 @@ func Compile(name, source string) (*Program, error) {
 }
 
 // CompileWithOptions builds a Program with explicit front-end options.
-func CompileWithOptions(name, source string, opts CompileOptions) (p *Program, err error) {
+func CompileWithOptions(name, source string, opts CompileOptions) (*Program, error) {
+	return CompileCtx(context.Background(), name, source, opts)
+}
+
+// CompileCtx is CompileWithOptions under a context: cancellation and
+// deadline bound the profiling run, and an observer attached with
+// ObserveContext records parse/pointsto/profile spans for the compilation.
+func CompileCtx(ctx context.Context, name, source string, opts CompileOptions) (p *Program, err error) {
 	defer contain(&err)
 	unroll := opts.Unroll
 	if unroll == 0 {
 		unroll = eval.DefaultUnroll
 	}
-	c, err := eval.PrepareFull(name, source, unroll, !opts.NoOptimize)
+	c, err := eval.PrepareFullCtx(ctx, name, source, unroll, !opts.NoOptimize)
 	if err != nil {
 		return nil, err
 	}
