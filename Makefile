@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check cover fuzz bench bench-quick bench-partition eval fmt vet clean
+.PHONY: all build test test-short race check cover fuzz bench bench-quick bench-partition bench-interp eval fmt vet clean
 
 all: build test
 
@@ -49,18 +49,20 @@ cover:
 	awk -v p="$$pct" -v min="$(OBS_COVER_MIN)" 'BEGIN { exit !(p+0 < min+0) }' && \
 		{ echo "internal/obs coverage $$pct% is below the $(OBS_COVER_MIN)% floor"; exit 1; } || true
 
-# Native Go fuzzing over the three harnesses: raw bytes through the
+# Native Go fuzzing over the four harnesses: raw bytes through the
 # parser, (source, unroll) pairs through the full front end with an IR
-# verifier oracle, and progen seeds through the whole pipeline with the
-# checksum-preservation and independent-validator oracles. `go test`
-# accepts one -fuzz pattern per invocation, hence three runs. Tune with
-# e.g. `make fuzz FUZZTIME=5m`.
+# verifier oracle, progen seeds through the whole pipeline with the
+# checksum-preservation and independent-validator oracles, and mclang
+# source through both profiling engines with the tree-walker as the
+# differential oracle (FuzzVM). `go test` accepts one -fuzz pattern per
+# invocation, hence four runs. Tune with e.g. `make fuzz FUZZTIME=5m`.
 FUZZTIME ?= 30s
 
 fuzz:
 	$(GO) test ./internal/mclang/ -run XXX -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mclang/ -run XXX -fuzz FuzzCompile -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/eval/ -run XXX -fuzz FuzzPipeline -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/bytecode/ -run XXX -fuzz FuzzVM -fuzztime $(FUZZTIME)
 
 # Regenerates every table and figure of the paper as benchmark metrics.
 bench:
@@ -80,6 +82,15 @@ bench-partition:
 	$(GO) test ./internal/partition/ -run XXX \
 		-bench 'BenchmarkBisect|BenchmarkKWay' -benchtime 5x \
 		| tee bench_partition_output.txt
+
+# Profiling-engine A/B: the bytecode VM vs the tree-walking interpreter
+# on the same profiling jobs (fresh engine + one full run per iteration,
+# bytecode compilation included). The raw numbers are refreshed into
+# BENCH_interp.json (see that file for the recorded analysis).
+bench-interp:
+	$(GO) test ./internal/bytecode/ -run XXX \
+		-bench 'BenchmarkProfileTree|BenchmarkProfileVM' -benchtime 5x \
+		| tee bench_interp_output.txt
 
 # Prints the paper's tables and figures as formatted text.
 eval:

@@ -92,6 +92,7 @@ func run(args []string, out io.Writer) (err error) {
 		cacheStats  = fs.Bool("cachestats", false, "print per-benchmark memoization cache statistics after the output")
 		noMemo      = fs.Bool("nomemo", false, "disable the partition-result memoization cache (for timing the uncached engine)")
 		legacyPart  = fs.Bool("legacypartition", false, "use the legacy graph partitioner instead of the gain-bucket FM fast path (for A/B comparison)")
+		legacyInt   = fs.Bool("legacyinterp", false, "profile with the tree-walking interpreter instead of the bytecode VM (for A/B comparison)")
 		validate    = fs.Bool("validate", false, "re-check every result with the independent schedule validator")
 		timeout     = fs.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 		traceFile   = fs.String("trace", "", "write the pipeline span trace to this file as sorted JSON lines")
@@ -114,7 +115,7 @@ func run(args []string, out io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
-	h := &harness{ctx: ctx, filter: *filter, workers: *jobs, noMemo: *noMemo, legacyPart: *legacyPart, validate: *validate, observer: sinks.Observer(), cache: map[string]*eval.Compiled{}, out: out}
+	h := &harness{ctx: ctx, filter: *filter, workers: *jobs, noMemo: *noMemo, legacyPart: *legacyPart, legacyInterp: *legacyInt, validate: *validate, observer: sinks.Observer(), cache: map[string]*eval.Compiled{}, out: out}
 	err = h.emit(*jsonOut, *svgDir, *table, *figure, *compileTime, *all)
 	if stopErr := prof.Stop(); err == nil {
 		err = stopErr
@@ -201,10 +202,13 @@ type harness struct {
 	workers    int  // -j: worker pool bound, 0 = GOMAXPROCS
 	noMemo     bool // -nomemo: bypass the partition-result cache
 	legacyPart bool // -legacypartition: route bisections through the legacy path
-	validate   bool // -validate: independent re-check of every result
-	observer   *obs.Observer
-	cache      map[string]*eval.Compiled
-	out        io.Writer
+	// legacyInterp (-legacyinterp) profiles with the tree-walking
+	// interpreter instead of the bytecode VM.
+	legacyInterp bool
+	validate     bool // -validate: independent re-check of every result
+	observer     *obs.Observer
+	cache        map[string]*eval.Compiled
+	out          io.Writer
 }
 
 // options builds the evaluation options every scheme run shares.
@@ -241,7 +245,7 @@ func (h *harness) compiled(b bench.Benchmark) (*eval.Compiled, error) {
 	if c, ok := h.cache[b.Name]; ok {
 		return c, nil
 	}
-	c, err := eval.PrepareCtx(h.ctx, b.Name, b.Source)
+	c, err := eval.PrepareOpts(h.ctx, b.Name, b.Source, eval.Options{LegacyInterp: h.legacyInterp})
 	if err != nil {
 		return nil, err
 	}
@@ -261,7 +265,7 @@ func (h *harness) prepareAll(bs []bench.Benchmark) ([]*eval.Compiled, error) {
 			missing = append(missing, eval.BenchSpec{Name: b.Name, Src: b.Source})
 		}
 	}
-	cs, err := eval.PrepareAllCtx(h.ctx, missing, h.workers)
+	cs, err := eval.PrepareAllOpts(h.ctx, missing, h.workers, eval.Options{LegacyInterp: h.legacyInterp})
 	if err != nil {
 		return nil, err
 	}

@@ -64,6 +64,7 @@ func run(args []string, out io.Writer) (err error) {
 		traceFile = fs.String("trace", "", "write the pipeline span trace to this file as sorted JSON lines")
 		metrics   = fs.Bool("metrics", false, "print the metric registry summary after the output")
 		promFile  = fs.String("prom", "", "write the metrics in Prometheus text format to this file")
+		legacyInt = fs.Bool("legacyinterp", false, "profile with the tree-walking interpreter instead of the bytecode VM (for A/B comparison)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,7 +91,7 @@ func run(args []string, out io.Writer) (err error) {
 		return nil
 	}
 
-	prog, err := load(ctx, *srcPath, *benchN, *unroll)
+	prog, err := load(ctx, *srcPath, *benchN, *unroll, *legacyInt)
 	if err != nil {
 		return err
 	}
@@ -153,7 +154,8 @@ func run(args []string, out io.Writer) (err error) {
 	return nil
 }
 
-func load(ctx context.Context, srcPath, benchName string, unroll int) (*mcpart.Program, error) {
+func load(ctx context.Context, srcPath, benchName string, unroll int, legacyInterp bool) (*mcpart.Program, error) {
+	copts := mcpart.CompileOptions{Unroll: unroll, LegacyInterp: legacyInterp}
 	switch {
 	case srcPath != "" && benchName != "":
 		return nil, fmt.Errorf("use only one of -src and -bench")
@@ -162,13 +164,13 @@ func load(ctx context.Context, srcPath, benchName string, unroll int) (*mcpart.P
 		if err != nil {
 			return nil, err
 		}
-		return mcpart.CompileCtx(ctx, srcPath, string(data), mcpart.CompileOptions{Unroll: unroll})
+		return mcpart.CompileCtx(ctx, srcPath, string(data), copts)
 	case benchName != "":
 		src, err := mcpart.BenchmarkSource(benchName)
 		if err != nil {
 			return nil, err
 		}
-		return mcpart.CompileCtx(ctx, benchName, src, mcpart.CompileOptions{Unroll: unroll})
+		return mcpart.CompileCtx(ctx, benchName, src, copts)
 	}
 	return nil, fmt.Errorf("need -src FILE or -bench NAME (try -list)")
 }

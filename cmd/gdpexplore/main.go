@@ -76,6 +76,7 @@ func run(args []string, out io.Writer) (err error) {
 		stats    = fs.Bool("cachestats", false, "print memoization cache statistics to stderr")
 		noMemo   = fs.Bool("nomemo", false, "disable the partition-result memoization cache")
 		legacy   = fs.Bool("legacypartition", false, "use the legacy graph partitioner instead of the gain-bucket FM fast path")
+		legInt   = fs.Bool("legacyinterp", false, "profile with the tree-walking interpreter instead of the bytecode VM")
 		validate = fs.Bool("validate", false, "re-check every mapping's result with the independent schedule validator")
 		timeout  = fs.Duration("timeout", 0, "abort the search after this duration (0 = no limit)")
 		traceF   = fs.String("trace", "", "write the pipeline span trace to this file as sorted JSON lines")
@@ -114,7 +115,7 @@ func run(args []string, out io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
-	p, err := mcpart.CompileCtx(ctx, *benchN, src, mcpart.CompileOptions{})
+	p, err := mcpart.CompileCtx(ctx, *benchN, src, mcpart.CompileOptions{LegacyInterp: *legInt})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,7 @@
+//go:build race
+
+package bytecode_test
+
+// raceEnabled reports that this test binary was built with -race, where
+// testing.AllocsPerRun is unreliable (race bookkeeping allocates).
+const raceEnabled = true

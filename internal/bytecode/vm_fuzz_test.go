@@ -1,0 +1,51 @@
+package bytecode_test
+
+import (
+	"testing"
+
+	"mcpart/internal/bench"
+	"mcpart/internal/interp"
+	"mcpart/internal/mclang"
+	"mcpart/internal/opt"
+	"mcpart/internal/pointsto"
+	"mcpart/internal/progen"
+)
+
+// FuzzVM differentially tests the bytecode engine against the tree-walking
+// oracle on arbitrary mclang source: whatever the front end accepts, both
+// engines must agree on — same success or failure, same budget resource,
+// and on success the same checksum and a DeepEqual-identical Profile
+// (diffRun asserts all of it). The seed corpus mixes generated programs
+// (progen, valid by construction) with checked-in benchmark sources, so
+// mutation explores both shapes.
+func FuzzVM(f *testing.F) {
+	for _, seed := range []int64{1, 7, 42, 1337, 99991} {
+		f.Add(progen.Generate(seed, progen.Options{}))
+	}
+	for _, name := range []string{"fir", "viterbi", "rawcaudio"} {
+		if bm, err := bench.Get(name); err == nil {
+			f.Add(bm.Source)
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		for _, cfg := range []struct {
+			unroll   int
+			optimize bool
+		}{{1, false}, {4, true}} {
+			mod, err := mclang.CompileUnrolled(src, "fuzz", cfg.unroll)
+			if err != nil {
+				return // front end rejected the mutation; nothing to compare
+			}
+			if cfg.optimize {
+				opt.Optimize(mod)
+			}
+			pointsto.Analyze(mod)
+			// A tight step cap keeps the slow oracle to a few ms per exec
+			// so mutation throughput stays useful; diffRun still requires
+			// the engines to trip the budget identically, and the full-run
+			// equivalence on every seed benchmark is pinned separately by
+			// TestSuiteEquivalence.
+			diffRun(t, mod, interp.Options{MaxSteps: 200_000})
+		}
+	})
+}

@@ -25,6 +25,14 @@ func Int(v, d int) int {
 	return v
 }
 
+// Int64 returns v, or d when v is non-positive.
+func Int64(v, d int64) int64 {
+	if v <= 0 {
+		return d
+	}
+	return v
+}
+
 // Float returns v, or d when v is non-positive.
 func Float(v, d float64) float64 {
 	if v <= 0 {

@@ -15,6 +15,19 @@ func TestInt(t *testing.T) {
 	}
 }
 
+func TestInt64(t *testing.T) {
+	for _, tc := range []struct{ v, d, want int64 }{
+		{0, 10_000_000, 10_000_000},
+		{-1, 10_000_000, 10_000_000},
+		{1, 10_000_000, 1},
+		{500, 4, 500},
+	} {
+		if got := Int64(tc.v, tc.d); got != tc.want {
+			t.Errorf("Int64(%d, %d) = %d, want %d", tc.v, tc.d, got, tc.want)
+		}
+	}
+}
+
 func TestFloat(t *testing.T) {
 	for _, tc := range []struct{ v, d, want float64 }{
 		{0, 0.4, 0.4},

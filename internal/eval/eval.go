@@ -14,6 +14,7 @@ import (
 	"sort"
 	"time"
 
+	"mcpart/internal/bytecode"
 	"mcpart/internal/check"
 	"mcpart/internal/defaults"
 	"mcpart/internal/gdp"
@@ -117,9 +118,15 @@ func PrepareUnrolled(name, src string, unroll int) (*Compiled, error) {
 
 // PrepareCtx is Prepare with a cancellation context: compilation is skipped
 // if ctx is already done, and a ctx deadline bounds the profiling
-// interpreter's wall clock.
+// run's wall clock.
 func PrepareCtx(ctx context.Context, name, src string) (*Compiled, error) {
 	return PrepareFullCtx(ctx, name, src, DefaultUnroll, true)
+}
+
+// PrepareOpts is PrepareCtx with explicit profiling knobs (MaxSteps and
+// the LegacyInterp engine switch; other Options fields are ignored here).
+func PrepareOpts(ctx context.Context, name, src string, opts Options) (*Compiled, error) {
+	return PrepareFullOpts(ctx, name, src, DefaultUnroll, true, opts)
 }
 
 // PrepareFull exposes every front-end knob: the unroll factor and whether
@@ -130,7 +137,16 @@ func PrepareFull(name, src string, unroll int, optimize bool) (*Compiled, error)
 
 // PrepareFullCtx is PrepareFull under a context.
 func PrepareFullCtx(ctx context.Context, name, src string, unroll int, optimize bool) (*Compiled, error) {
-	iopts := interp.Options{MaxSteps: 10_000_000}
+	return PrepareFullOpts(ctx, name, src, unroll, optimize, Options{})
+}
+
+// PrepareFullOpts is the full Prepare implementation: front end, points-to
+// analysis, and one profiling execution. The profiler is the bytecode VM
+// (internal/bytecode) unless opts.LegacyInterp selects the tree-walking
+// interpreter; both produce identical checksums and Profiles, and both
+// charge the same step/byte/deadline budgets.
+func PrepareFullOpts(ctx context.Context, name, src string, unroll int, optimize bool, opts Options) (*Compiled, error) {
+	iopts := interp.Options{MaxSteps: opts.maxSteps()}
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("eval: %s: %w", name, err)
@@ -156,15 +172,37 @@ func PrepareFullCtx(ctx context.Context, name, src string, unroll int, optimize 
 	pointsto.Analyze(mod)
 	sp.End()
 	sp = po.Span("profile")
-	in := interp.New(mod, iopts)
-	v, err := in.RunMain()
+	var v interp.Value
+	var prof *interp.Profile
+	if opts.LegacyInterp {
+		in := interp.New(mod, iopts)
+		v, err = in.RunMain()
+		prof = in.Profile()
+		// The tree walker executes one op per dispatch by definition, so
+		// its counters mirror the VM's exactly.
+		po.Counter("interp_steps").Add(prof.Steps)
+		po.Counter("interp_dispatches").Add(prof.Steps)
+		po.Counter("interp_alloc_bytes").Add(in.AllocBytes())
+	} else {
+		var prog *bytecode.Program
+		prog, err = bytecode.Compile(mod)
+		if err != nil {
+			sp.End()
+			psp.End()
+			return nil, fmt.Errorf("eval: %s: %w", name, err)
+		}
+		vm := bytecode.NewVM(prog, iopts)
+		vm.SetObserver(po)
+		v, err = vm.RunMain()
+		prof = vm.Profile()
+	}
 	sp.End()
 	psp.End()
 	o.Counter("prepare_programs").Add(1)
 	if err != nil {
 		return nil, fmt.Errorf("eval: %s: profile run: %w", name, err)
 	}
-	c := &Compiled{Name: name, Mod: mod, Prof: in.Profile(), Ret: v.I}
+	c := &Compiled{Name: name, Mod: mod, Prof: prof, Ret: v.I}
 	c.EnableMemo()
 	return c, nil
 }
@@ -223,6 +261,16 @@ type Options struct {
 	// ProfileMaxTol is the memory balance threshold of the Profile Max
 	// greedy assignment (default 0.10, matching GDP's).
 	ProfileMaxTol float64
+	// MaxSteps bounds the profiling run in Prepare (the usual sentinel:
+	// non-positive means the default of 10 million steps). Programs that
+	// exceed it fail Prepare with a typed *interp.BudgetError.
+	MaxSteps int64
+	// LegacyInterp routes Prepare's profiling run through the tree-walking
+	// interpreter instead of the bytecode VM (ablation and differential
+	// debugging; see -legacyinterp). Checksum and Profile are identical
+	// either way — the VM is differentially tested against the tree walker
+	// — so only wall time changes.
+	LegacyInterp bool
 	// Workers bounds the evaluation worker pool used by Exhaustive,
 	// RunAllSchemes and RunMatrix. Zero or negative selects
 	// runtime.GOMAXPROCS(0) — the repository-wide sentinel convention
@@ -335,6 +383,8 @@ func (o Options) validateResult(c *Compiled, cfg *machine.Config, res *Result) e
 }
 
 func (o Options) pmaxTol() float64 { return defaults.Float(o.ProfileMaxTol, 0.10) }
+
+func (o Options) maxSteps() int64 { return defaults.Int64(o.MaxSteps, 10_000_000) }
 
 // rhopOpts returns o.RHOP with the run-wide partitioner knobs applied:
 // LegacyPartition is sticky (either level can set it) and the evaluation

@@ -22,6 +22,15 @@ func TestOptionDefaults(t *testing.T) {
 	if got := (Options{ProfileMaxTol: 0.25}).pmaxTol(); got != 0.25 {
 		t.Errorf("set ProfileMaxTol -> %v, want 0.25", got)
 	}
+	if got := zero.maxSteps(); got != 10_000_000 {
+		t.Errorf("zero MaxSteps -> %d, want 10_000_000", got)
+	}
+	if got := (Options{MaxSteps: -5}).maxSteps(); got != 10_000_000 {
+		t.Errorf("negative MaxSteps -> %d, want 10_000_000", got)
+	}
+	if got := (Options{MaxSteps: 500}).maxSteps(); got != 500 {
+		t.Errorf("set MaxSteps -> %d, want 500", got)
+	}
 	if got := parallel.Workers(zero.Workers); got != runtime.GOMAXPROCS(0) {
 		t.Errorf("zero Workers -> %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
 	}

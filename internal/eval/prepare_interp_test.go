@@ -1,0 +1,81 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mcpart/internal/bench"
+	"mcpart/internal/interp"
+)
+
+// TestPrepareEngineEquivalence pins that the profiling engine switch is
+// invisible in Prepare's output: the bytecode VM (default) and the
+// tree-walking interpreter (LegacyInterp) produce the same checksum and a
+// DeepEqual-identical Profile through the public entry point.
+func TestPrepareEngineEquivalence(t *testing.T) {
+	bm, err := bench.Get("fir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := PrepareOpts(context.Background(), bm.Name, bm.Source, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := PrepareOpts(context.Background(), bm.Name, bm.Source, Options{LegacyInterp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Ret != tree.Ret {
+		t.Fatalf("checksum mismatch: vm %d, tree %d", vm.Ret, tree.Ret)
+	}
+	if vm.Ret != bm.Want {
+		t.Fatalf("checksum %d, want %d", vm.Ret, bm.Want)
+	}
+	if !reflect.DeepEqual(normProfile(vm.Prof), normProfile(tree.Prof)) {
+		t.Fatal("profiles diverge between engines")
+	}
+}
+
+// normProfile projects a Profile onto engine-independent keys (function
+// names plus dense block/op/object IDs instead of pointers): the two
+// Prepare calls compile separate modules, so pointer-keyed maps can never
+// be compared directly.
+func normProfile(p *interp.Profile) map[string]int64 {
+	out := map[string]int64{"steps": p.Steps}
+	for b, n := range p.BlockFreq {
+		out[fmt.Sprintf("bf/%s/b%d", b.Func.Name, b.ID)] = n
+	}
+	for op, m := range p.OpObj {
+		for objID, n := range m {
+			out[fmt.Sprintf("op/%s/%d/%d", op.Block.Func.Name, op.ID, objID)] = n
+		}
+	}
+	for objID, n := range p.ObjBytes {
+		out[fmt.Sprintf("bytes/%d", objID)] = n
+	}
+	for objID, n := range p.ObjAccess {
+		out[fmt.Sprintf("acc/%d", objID)] = n
+	}
+	return out
+}
+
+// TestPrepareMaxStepsHonored pins that Options.MaxSteps reaches the
+// profiler on both engines: a cap far below the benchmark's step count
+// must fail Prepare with a typed step-budget error.
+func TestPrepareMaxStepsHonored(t *testing.T) {
+	bm, err := bench.Get("fir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, legacy := range []bool{false, true} {
+		_, err := PrepareOpts(context.Background(), bm.Name, bm.Source,
+			Options{MaxSteps: 100, LegacyInterp: legacy})
+		var be *interp.BudgetError
+		if !errors.As(err, &be) || be.Resource != "step" {
+			t.Errorf("legacy=%v: want step BudgetError, got %v", legacy, err)
+		}
+	}
+}

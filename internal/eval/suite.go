@@ -194,11 +194,17 @@ func PrepareAll(specs []BenchSpec, workers int) ([]*Compiled, error) {
 }
 
 // PrepareAllCtx is PrepareAll with a cancellation context; a ctx deadline
-// also bounds each benchmark's profiling interpreter run.
+// also bounds each benchmark's profiling run.
 func PrepareAllCtx(ctx context.Context, specs []BenchSpec, workers int) ([]*Compiled, error) {
+	return PrepareAllOpts(ctx, specs, workers, Options{})
+}
+
+// PrepareAllOpts is PrepareAllCtx with explicit profiling knobs (MaxSteps
+// and the LegacyInterp engine switch).
+func PrepareAllOpts(ctx context.Context, specs []BenchSpec, workers int, opts Options) ([]*Compiled, error) {
 	return parallel.MapStage(ctx, "prepare", len(specs), workers,
 		func(ctx context.Context, i int) (*Compiled, error) {
-			return PrepareCtx(ctx, specs[i].Name, specs[i].Src)
+			return PrepareOpts(ctx, specs[i].Name, specs[i].Src, opts)
 		})
 }
 

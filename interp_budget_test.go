@@ -1,0 +1,83 @@
+package mcpart
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"mcpart/internal/bytecode"
+	"mcpart/internal/interp"
+	"mcpart/internal/mclang"
+	"mcpart/internal/opt"
+	"mcpart/internal/pointsto"
+	"mcpart/internal/progen"
+)
+
+// TestVMProfileTimeBudget is the profiling half of the timing regression
+// guard: the bytecode VM must stay within 2% of the per-run time recorded
+// in BENCH_interp.json for its anchor workload. Like the memoization
+// check, a wall-clock comparison against a recorded baseline only means
+// something on the runner that recorded it, so the check is opt-in via
+// MCPART_TIMING_BUDGET=1 (plain `go test` runs skip it and rely on the
+// machine-independent differential and zero-alloc guards in
+// internal/bytecode).
+func TestVMProfileTimeBudget(t *testing.T) {
+	if os.Getenv("MCPART_TIMING_BUDGET") == "" {
+		t.Skip("set MCPART_TIMING_BUDGET=1 on the BENCH_interp.json reference runner to enable")
+	}
+	data, err := os.ReadFile("BENCH_interp.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Results struct {
+			VMSPerOp float64 `json:"vm_profile_s_per_op"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Results.VMSPerOp <= 0 {
+		t.Fatal("BENCH_interp.json has no vm_profile_s_per_op")
+	}
+
+	// The recorded anchor workload: progen seed 137 under the enlarged
+	// generator options of BenchmarkProfileVM (~18.4M steps), prepared
+	// through the same front-end pipeline.
+	src := progen.Generate(137, progen.Options{
+		MaxGlobals: 12, MaxFuncs: 8, MaxStmtDepth: 5, MaxLoopTrip: 24,
+	})
+	mod, err := mclang.CompileUnrolled(src, "progen-large", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Optimize(mod)
+	pointsto.Analyze(mod)
+
+	// Same shape as one BenchmarkProfileVM iteration: compile, run, and
+	// reconstruct the Profile, all timed. Best-of-3 filters scheduler
+	// noise in the direction that matters for a ceiling check.
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < 3; i++ {
+		t0 := time.Now()
+		prog, err := bytecode.Compile(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm := bytecode.NewVM(prog, interp.Options{})
+		if _, err := vm.RunMain(); err != nil {
+			t.Fatal(err)
+		}
+		_ = vm.Profile()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	budget := time.Duration(rec.Results.VMSPerOp * 1.02 * float64(time.Second))
+	t.Logf("vm profiling: best %.4fs, budget %.4fs (recorded %.4fs + 2%%)",
+		best.Seconds(), budget.Seconds(), rec.Results.VMSPerOp)
+	if best > budget {
+		t.Errorf("vm profiling took %.4fs, budget %.4fs", best.Seconds(), budget.Seconds())
+	}
+}

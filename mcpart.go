@@ -212,6 +212,13 @@ type CompileOptions struct {
 	// propagation, CSE, dead-code elimination) that otherwise runs before
 	// analysis, as it would in the paper's Trimaran toolchain.
 	NoOptimize bool
+	// MaxSteps bounds the profiling run (the usual sentinel: non-positive
+	// means the default of 10 million steps).
+	MaxSteps int64
+	// LegacyInterp profiles with the tree-walking interpreter instead of
+	// the bytecode VM (ablation and differential debugging; results are
+	// identical, only wall time changes).
+	LegacyInterp bool
 }
 
 // Compile builds a Program from mclang source with default options.
@@ -233,7 +240,8 @@ func CompileCtx(ctx context.Context, name, source string, opts CompileOptions) (
 	if unroll == 0 {
 		unroll = eval.DefaultUnroll
 	}
-	c, err := eval.PrepareFullCtx(ctx, name, source, unroll, !opts.NoOptimize)
+	c, err := eval.PrepareFullOpts(ctx, name, source, unroll, !opts.NoOptimize,
+		eval.Options{MaxSteps: opts.MaxSteps, LegacyInterp: opts.LegacyInterp})
 	if err != nil {
 		return nil, err
 	}
