@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check cover fuzz bench bench-quick bench-partition bench-interp eval fmt vet clean
+.PHONY: all build test test-short race check cover fuzz bench bench-quick bench-partition bench-interp bench-store eval fmt vet clean
 
 all: build test
 
@@ -91,6 +91,15 @@ bench-interp:
 	$(GO) test ./internal/bytecode/ -run XXX \
 		-bench 'BenchmarkProfileTree|BenchmarkProfileVM' -benchtime 5x \
 		| tee bench_interp_output.txt
+
+# Persistent artifact-store A/B: the Figure 9 sweep cold (empty cache)
+# vs warm after a simulated process restart (open + index rebuild +
+# deserialization all inside the timed warm run). The raw numbers are
+# refreshed into BENCH_store.json (see that file for the recorded
+# analysis and the >=5x acceptance target).
+bench-store:
+	$(GO) test -run XXX -bench BenchmarkStoreWarmRestart -benchtime 5x . \
+		| tee bench_store_output.txt
 
 # Prints the paper's tables and figures as formatted text.
 eval:

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mcpart/internal/store"
+)
+
+// restartCache simulates a process restart for the shared artifact store:
+// flush, close, and forget the handle so the next run reopens the log and
+// rebuilds the index from disk.
+func restartCache(t *testing.T, dir string) {
+	t.Helper()
+	if err := store.DropShared(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheDirColdWarmIdentical pins the tool-level determinism contract:
+// the same invocation with no cache, a cold cache, a warm cache (after a
+// simulated restart), and a warm cache at -j 8 all emit byte-identical
+// output.
+func TestCacheDirColdWarmIdentical(t *testing.T) {
+	dir := t.TempDir()
+	ref := runBenchCmd(t, "-figure", "8a", "-run", "fir", "-j", "1")
+
+	cold := runBenchCmd(t, "-figure", "8a", "-run", "fir", "-j", "1", "-cachedir", dir)
+	if cold != ref {
+		t.Errorf("cold cache changed the output:\n%s\nvs\n%s", cold, ref)
+	}
+	restartCache(t, dir)
+
+	warm := runBenchCmd(t, "-figure", "8a", "-run", "fir", "-j", "1", "-cachedir", dir)
+	if warm != ref {
+		t.Errorf("warm cache changed the output:\n%s\nvs\n%s", warm, ref)
+	}
+	warm8 := runBenchCmd(t, "-figure", "8a", "-run", "fir", "-j", "8", "-cachedir", dir)
+	if warm8 != ref {
+		t.Errorf("warm cache at -j 8 changed the output:\n%s\nvs\n%s", warm8, ref)
+	}
+}
+
+// TestCacheDirExhaustiveWarm pins the Figure 9 sweep — the workload the
+// store exists for — across a restart: byte-identical output and a
+// nonzero disk-tier hit count on the warm pass.
+func TestCacheDirExhaustiveWarm(t *testing.T) {
+	dir := t.TempDir()
+	cold := runBenchCmd(t, "-figure", "9", "-run", "halftone", "-j", "1", "-cachedir", dir)
+	restartCache(t, dir)
+	warm := runBenchCmd(t, "-figure", "9", "-run", "halftone", "-j", "1", "-cachedir", dir)
+	if cold != warm {
+		t.Errorf("warm exhaustive output differs:\n%s\nvs\n%s", warm, cold)
+	}
+	st, ok := store.SharedStats(dir)
+	if !ok || st.Hits == 0 {
+		t.Errorf("warm exhaustive sweep had no store hits: %+v (ok=%v)", st, ok)
+	}
+}
+
+// TestCacheStatsStoreLine pins the -cachestats tier split: with -cachedir
+// the report gains an artifact-store line, and after a restart the warm
+// run's line shows nonzero hits.
+func TestCacheStatsStoreLine(t *testing.T) {
+	dir := t.TempDir()
+	runBenchCmd(t, "-compiletime", "-run", "fir", "-cachedir", dir)
+	restartCache(t, dir)
+	out := runBenchCmd(t, "-compiletime", "-run", "fir", "-cachedir", dir, "-cachestats")
+	if !strings.Contains(out, "memoization cache (per benchmark):") ||
+		!strings.Contains(out, "promotions") {
+		t.Errorf("memo stats missing tier split:\n%s", out)
+	}
+	m := regexp.MustCompile(`artifact store \(shared\): hits (\d+)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no artifact store line:\n%s", out)
+	}
+	if hits, _ := strconv.Atoi(m[1]); hits == 0 {
+		t.Errorf("warm run reported zero store hits:\n%s", out)
+	}
+}
+
+// TestCacheDirBadPathErrors pins eager open: an unusable cache directory
+// is a visible startup error, not a silent cold cache.
+func TestCacheDirBadPathErrors(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-table", "1", "-cachedir", "/dev/null/not-a-dir"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "-cachedir") {
+		t.Errorf("bad -cachedir err = %v, want -cachedir open failure", err)
+	}
+}

@@ -32,6 +32,19 @@
 // schedule computations across schemes; disable it with -nomemo to
 // measure the uncached engine).
 //
+// Persistent caching:
+//
+//	gdpbench -all -cachedir .gdpcache              # warm restarts
+//	gdpbench -all -cachedir .gdpcache -cachestats  # plus tier-split hit rates
+//
+// -cachedir layers the content-addressed artifact store (internal/store,
+// DESIGN.md §12) under the memoization cache: partition, lock, schedule,
+// and profile results persist across process restarts, keyed by content
+// hashes of the module, machine, and options. The cache changes wall time
+// only — every table and figure is byte-identical with a cold, warm,
+// corrupt, or absent cache. -cachemaxbytes bounds the log (default 1 GiB);
+// a full log sheds new writes but keeps serving reads.
+//
 // Observability (DESIGN.md §10):
 //
 //	gdpbench -all -j 1 -metrics   # metric summary (totals + per-bench/scheme)
@@ -59,6 +72,7 @@ import (
 	"mcpart/internal/parallel"
 	"mcpart/internal/plot"
 	"mcpart/internal/profutil"
+	"mcpart/internal/store"
 )
 
 func main() {
@@ -98,9 +112,23 @@ func run(args []string, out io.Writer) (err error) {
 		traceFile   = fs.String("trace", "", "write the pipeline span trace to this file as sorted JSON lines")
 		metrics     = fs.Bool("metrics", false, "print the metric registry summary after the output")
 		promFile    = fs.String("prom", "", "write the metrics in Prometheus text format to this file")
+		cacheDir    = fs.String("cachedir", "", "persistent artifact-cache directory: partition/schedule/profile results survive process restarts (empty = disabled)")
+		cacheMax    = fs.Int64("cachemaxbytes", 0, "artifact-cache size bound in bytes (0 = 1 GiB default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cacheDir != "" {
+		// Open eagerly so a broken cache directory is a visible error here
+		// instead of a silent cold cache inside the pipeline.
+		if _, err := store.OpenShared(*cacheDir, store.Options{MaxBytes: *cacheMax}); err != nil {
+			return fmt.Errorf("-cachedir: %w", err)
+		}
+		defer func() {
+			if ferr := store.FlushShared(*cacheDir); err == nil {
+				err = ferr
+			}
+		}()
 	}
 
 	ctx := context.Background()
@@ -115,7 +143,7 @@ func run(args []string, out io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
-	h := &harness{ctx: ctx, filter: *filter, workers: *jobs, noMemo: *noMemo, legacyPart: *legacyPart, legacyInterp: *legacyInt, validate: *validate, observer: sinks.Observer(), cache: map[string]*eval.Compiled{}, out: out}
+	h := &harness{ctx: ctx, filter: *filter, workers: *jobs, noMemo: *noMemo, legacyPart: *legacyPart, legacyInterp: *legacyInt, validate: *validate, cacheDir: *cacheDir, cacheMax: *cacheMax, observer: sinks.Observer(), cache: map[string]*eval.Compiled{}, out: out}
 	err = h.emit(*jsonOut, *svgDir, *table, *figure, *compileTime, *all)
 	if stopErr := prof.Stop(); err == nil {
 		err = stopErr
@@ -205,7 +233,9 @@ type harness struct {
 	// legacyInterp (-legacyinterp) profiles with the tree-walking
 	// interpreter instead of the bytecode VM.
 	legacyInterp bool
-	validate     bool // -validate: independent re-check of every result
+	validate     bool   // -validate: independent re-check of every result
+	cacheDir     string // -cachedir: persistent artifact store (empty = off)
+	cacheMax     int64  // -cachemaxbytes: artifact log size bound
 	observer     *obs.Observer
 	cache        map[string]*eval.Compiled
 	out          io.Writer
@@ -213,7 +243,7 @@ type harness struct {
 
 // options builds the evaluation options every scheme run shares.
 func (h *harness) options() eval.Options {
-	return eval.Options{Workers: h.workers, NoMemo: h.noMemo, LegacyPartition: h.legacyPart, Validate: h.validate, Observer: h.observer}
+	return eval.Options{Workers: h.workers, NoMemo: h.noMemo, LegacyPartition: h.legacyPart, Validate: h.validate, CacheDir: h.cacheDir, CacheMaxBytes: h.cacheMax, Observer: h.observer}
 }
 
 // emitCacheStats prints one memoization-counter line per compiled
@@ -226,8 +256,14 @@ func (h *harness) emitCacheStats() {
 			continue
 		}
 		s := c.MemoStats()
-		fmt.Fprintf(h.out, "  %-12s hits %6d  misses %6d  rate %5.1f%%  entries %5d  evictions %d\n",
-			b.Name, s.Hits, s.Misses, 100*s.HitRate(), s.Entries, s.Evictions)
+		fmt.Fprintf(h.out, "  %-12s hits %6d  misses %6d  rate %5.1f%%  promotions %5d  entries %5d  evictions %d\n",
+			b.Name, s.Hits, s.Misses, 100*s.HitRate(), s.Promotions, s.Entries, s.Evictions)
+	}
+	if h.cacheDir != "" {
+		if st, ok := store.SharedStats(h.cacheDir); ok {
+			fmt.Fprintf(h.out, "artifact store (shared): hits %d  misses %d  rate %.1f%%  writes %d  corrupt %d  bytes %d\n",
+				st.Hits, st.Misses, 100*st.HitRate(), st.Writes, st.CorruptSkipped, st.LogBytes)
+		}
 	}
 }
 
@@ -245,7 +281,7 @@ func (h *harness) compiled(b bench.Benchmark) (*eval.Compiled, error) {
 	if c, ok := h.cache[b.Name]; ok {
 		return c, nil
 	}
-	c, err := eval.PrepareOpts(h.ctx, b.Name, b.Source, eval.Options{LegacyInterp: h.legacyInterp})
+	c, err := eval.PrepareOpts(h.ctx, b.Name, b.Source, eval.Options{LegacyInterp: h.legacyInterp, CacheDir: h.cacheDir, CacheMaxBytes: h.cacheMax})
 	if err != nil {
 		return nil, err
 	}
@@ -265,7 +301,7 @@ func (h *harness) prepareAll(bs []bench.Benchmark) ([]*eval.Compiled, error) {
 			missing = append(missing, eval.BenchSpec{Name: b.Name, Src: b.Source})
 		}
 	}
-	cs, err := eval.PrepareAllOpts(h.ctx, missing, h.workers, eval.Options{LegacyInterp: h.legacyInterp})
+	cs, err := eval.PrepareAllOpts(h.ctx, missing, h.workers, eval.Options{LegacyInterp: h.legacyInterp, CacheDir: h.cacheDir, CacheMaxBytes: h.cacheMax})
 	if err != nil {
 		return nil, err
 	}

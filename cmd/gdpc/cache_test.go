@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"mcpart/internal/store"
+)
+
+// TestGdpcCacheDirColdWarmIdentical pins the driver's determinism across
+// cache states: no cache, cold cache, and warm cache (after a simulated
+// process restart) emit byte-identical output.
+func TestGdpcCacheDirColdWarmIdentical(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-bench", "fir", "-scheme", "all"}
+	ref := runCmd(t, args...)
+
+	cached := append(append([]string(nil), args...), "-cachedir", dir)
+	if cold := runCmd(t, cached...); cold != ref {
+		t.Errorf("cold cache changed the output:\n%s\nvs\n%s", cold, ref)
+	}
+	if err := store.DropShared(dir); err != nil {
+		t.Fatal(err)
+	}
+	if warm := runCmd(t, cached...); warm != ref {
+		t.Errorf("warm cache changed the output:\n%s\nvs\n%s", warm, ref)
+	}
+	st, ok := store.SharedStats(dir)
+	if !ok || st.Hits == 0 {
+		t.Errorf("warm run had no store hits: %+v (ok=%v)", st, ok)
+	}
+}
+
+// TestGdpcCacheStats pins the -cachestats tier-split lines.
+func TestGdpcCacheStats(t *testing.T) {
+	dir := t.TempDir()
+	out := runCmd(t, "-bench", "fir", "-scheme", "gdp", "-cachedir", dir, "-cachestats")
+	for _, want := range []string{"memo cache:", "promotions", "artifact store:", "writes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cache stats missing %q:\n%s", want, out)
+		}
+	}
+}

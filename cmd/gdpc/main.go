@@ -29,6 +29,7 @@ import (
 	"mcpart/internal/obs"
 	"mcpart/internal/parallel"
 	"mcpart/internal/sched"
+	"mcpart/internal/store"
 )
 
 func main() {
@@ -65,9 +66,22 @@ func run(args []string, out io.Writer) (err error) {
 		metrics   = fs.Bool("metrics", false, "print the metric registry summary after the output")
 		promFile  = fs.String("prom", "", "write the metrics in Prometheus text format to this file")
 		legacyInt = fs.Bool("legacyinterp", false, "profile with the tree-walking interpreter instead of the bytecode VM (for A/B comparison)")
+		cacheDir  = fs.String("cachedir", "", "persistent artifact-cache directory: partition/schedule/profile results survive process restarts (empty = disabled)")
+		cacheMax  = fs.Int64("cachemaxbytes", 0, "artifact-cache size bound in bytes (0 = 1 GiB default)")
+		cacheStat = fs.Bool("cachestats", false, "print memoization and artifact-store cache statistics after the output")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cacheDir != "" {
+		if _, err := store.OpenShared(*cacheDir, store.Options{MaxBytes: *cacheMax}); err != nil {
+			return fmt.Errorf("-cachedir: %w", err)
+		}
+		defer func() {
+			if ferr := store.FlushShared(*cacheDir); err == nil {
+				err = ferr
+			}
+		}()
 	}
 
 	ctx := context.Background()
@@ -91,7 +105,7 @@ func run(args []string, out io.Writer) (err error) {
 		return nil
 	}
 
-	prog, err := load(ctx, *srcPath, *benchN, *unroll, *legacyInt)
+	prog, err := load(ctx, *srcPath, *benchN, *unroll, *legacyInt, *cacheDir, *cacheMax)
 	if err != nil {
 		return err
 	}
@@ -129,7 +143,7 @@ func run(args []string, out io.Writer) (err error) {
 	}
 	var unified *mcpart.Result
 	for _, s := range schemes {
-		r, err := mcpart.EvaluateCtx(ctx, prog, m, s, mcpart.Options{Validate: *validate, Observer: sinks.Observer()})
+		r, err := mcpart.EvaluateCtx(ctx, prog, m, s, mcpart.Options{Validate: *validate, CacheDir: *cacheDir, CacheMaxBytes: *cacheMax, Observer: sinks.Observer()})
 		if err != nil {
 			return err
 		}
@@ -151,11 +165,21 @@ func run(args []string, out io.Writer) (err error) {
 		}
 		fmt.Fprintln(out, line)
 	}
+	if *cacheStat {
+		s := prog.MemoStats()
+		fmt.Fprintf(out, "memo cache: hits %d  misses %d  promotions %d  entries %d  evictions %d\n",
+			s.Hits, s.Misses, s.Promotions, s.Entries, s.Evictions)
+		if *cacheDir != "" {
+			st := prog.StoreStats()
+			fmt.Fprintf(out, "artifact store: hits %d  misses %d  rate %.1f%%  writes %d  corrupt %d  bytes %d\n",
+				st.Hits, st.Misses, 100*st.HitRate(), st.Writes, st.CorruptSkipped, st.LogBytes)
+		}
+	}
 	return nil
 }
 
-func load(ctx context.Context, srcPath, benchName string, unroll int, legacyInterp bool) (*mcpart.Program, error) {
-	copts := mcpart.CompileOptions{Unroll: unroll, LegacyInterp: legacyInterp}
+func load(ctx context.Context, srcPath, benchName string, unroll int, legacyInterp bool, cacheDir string, cacheMax int64) (*mcpart.Program, error) {
+	copts := mcpart.CompileOptions{Unroll: unroll, LegacyInterp: legacyInterp, CacheDir: cacheDir, CacheMaxBytes: cacheMax}
 	switch {
 	case srcPath != "" && benchName != "":
 		return nil, fmt.Errorf("use only one of -src and -bench")

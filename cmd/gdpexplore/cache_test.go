@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"mcpart/internal/store"
+)
+
+// TestExploreCacheDirColdWarmIdentical pins the exhaustive explorer across
+// cache states: the CSV output (every mask's cycles) is byte-identical
+// with no cache, a cold cache, and a warm cache after a simulated restart
+// — and the warm sweep is served from disk.
+func TestExploreCacheDirColdWarmIdentical(t *testing.T) {
+	dir := t.TempDir()
+	sweep := func(extra ...string) string {
+		t.Helper()
+		var sb strings.Builder
+		args := append([]string{"-bench", "fir", "-csv", "-j", "1"}, extra...)
+		if err := run(args, &sb); err != nil {
+			t.Fatalf("gdpexplore %v: %v", args, err)
+		}
+		return sb.String()
+	}
+	ref := sweep()
+	if cold := sweep("-cachedir", dir); cold != ref {
+		t.Errorf("cold cache changed the CSV:\n%s\nvs\n%s", cold, ref)
+	}
+	if err := store.DropShared(dir); err != nil {
+		t.Fatal(err)
+	}
+	if warm := sweep("-cachedir", dir); warm != ref {
+		t.Errorf("warm cache changed the CSV:\n%s\nvs\n%s", warm, ref)
+	}
+	st, ok := store.SharedStats(dir)
+	if !ok || st.Hits == 0 {
+		t.Errorf("warm sweep had no store hits: %+v (ok=%v)", st, ok)
+	}
+}

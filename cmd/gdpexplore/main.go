@@ -46,6 +46,7 @@ import (
 	"mcpart/internal/obs"
 	"mcpart/internal/parallel"
 	"mcpart/internal/profutil"
+	"mcpart/internal/store"
 )
 
 func main() {
@@ -82,9 +83,21 @@ func run(args []string, out io.Writer) (err error) {
 		traceF   = fs.String("trace", "", "write the pipeline span trace to this file as sorted JSON lines")
 		metrics  = fs.Bool("metrics", false, "print the metric registry summary after the output")
 		promF    = fs.String("prom", "", "write the metrics in Prometheus text format to this file")
+		cacheDir = fs.String("cachedir", "", "persistent artifact-cache directory: partition/schedule/profile results survive process restarts (empty = disabled)")
+		cacheMax = fs.Int64("cachemaxbytes", 0, "artifact-cache size bound in bytes (0 = 1 GiB default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cacheDir != "" {
+		if _, err := store.OpenShared(*cacheDir, store.Options{MaxBytes: *cacheMax}); err != nil {
+			return fmt.Errorf("-cachedir: %w", err)
+		}
+		defer func() {
+			if ferr := store.FlushShared(*cacheDir); err == nil {
+				err = ferr
+			}
+		}()
 	}
 
 	ctx := context.Background()
@@ -115,12 +128,12 @@ func run(args []string, out io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
-	p, err := mcpart.CompileCtx(ctx, *benchN, src, mcpart.CompileOptions{LegacyInterp: *legInt})
+	p, err := mcpart.CompileCtx(ctx, *benchN, src, mcpart.CompileOptions{LegacyInterp: *legInt, CacheDir: *cacheDir, CacheMaxBytes: *cacheMax})
 	if err != nil {
 		return err
 	}
 	m := mcpart.Paper2Cluster(*latency)
-	ex, err := mcpart.ExhaustiveSearchCtx(ctx, p, m, mcpart.Options{Workers: *jobs, NoMemo: *noMemo, LegacyPartition: *legacy, Validate: *validate, Observer: sinks.Observer()}, *maxObj)
+	ex, err := mcpart.ExhaustiveSearchCtx(ctx, p, m, mcpart.Options{Workers: *jobs, NoMemo: *noMemo, LegacyPartition: *legacy, Validate: *validate, CacheDir: *cacheDir, CacheMaxBytes: *cacheMax, Observer: sinks.Observer()}, *maxObj)
 	if err != nil {
 		return err
 	}
@@ -131,8 +144,13 @@ func run(args []string, out io.Writer) (err error) {
 		if total > 0 {
 			rate = float64(s.Hits) / float64(total)
 		}
-		fmt.Fprintf(os.Stderr, "memo cache: hits %d  misses %d  rate %.1f%%  entries %d  evictions %d\n",
-			s.Hits, s.Misses, 100*rate, s.Entries, s.Evictions)
+		fmt.Fprintf(os.Stderr, "memo cache: hits %d  misses %d  rate %.1f%%  promotions %d  entries %d  evictions %d\n",
+			s.Hits, s.Misses, 100*rate, s.Promotions, s.Entries, s.Evictions)
+		if *cacheDir != "" {
+			st := p.StoreStats()
+			fmt.Fprintf(os.Stderr, "artifact store: hits %d  misses %d  rate %.1f%%  writes %d  corrupt %d  bytes %d\n",
+				st.Hits, st.Misses, 100*st.HitRate(), st.Writes, st.CorruptSkipped, st.LogBytes)
+		}
 	}
 
 	if *csv {

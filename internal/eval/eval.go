@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"mcpart/internal/bytecode"
@@ -28,6 +29,7 @@ import (
 	"mcpart/internal/pointsto"
 	"mcpart/internal/rhop"
 	"mcpart/internal/sched"
+	"mcpart/internal/store"
 )
 
 // Scheme names a partitioning strategy from Table 1.
@@ -60,6 +62,11 @@ type Compiled struct {
 	// machine, and the partitioner options — are valid for the lifetime
 	// of the Compiled. nil (hand-built Compiled values) disables caching.
 	memo *memo.Cache
+	// store is the persistent artifact tier layered under memo when a run
+	// names a cache directory (Options.CacheDir); storeOnce makes the
+	// attachment first-wins. See store.go and DESIGN.md §12.
+	store     *store.Store
+	storeOnce sync.Once
 	// touched[f] is the sorted union of object IDs in the MayAccess sets
 	// of f's memory operations: the only objects whose data-map homes can
 	// influence f's locks, and therefore its partition. A function
@@ -123,8 +130,10 @@ func PrepareCtx(ctx context.Context, name, src string) (*Compiled, error) {
 	return PrepareFullCtx(ctx, name, src, DefaultUnroll, true)
 }
 
-// PrepareOpts is PrepareCtx with explicit profiling knobs (MaxSteps and
-// the LegacyInterp engine switch; other Options fields are ignored here).
+// PrepareOpts is PrepareCtx with explicit profiling knobs (MaxSteps, the
+// LegacyInterp engine switch, and the CacheDir/CacheMaxBytes disk-cache
+// knobs — a cached profile replaces the profiling execution; other
+// Options fields are ignored here).
 func PrepareOpts(ctx context.Context, name, src string, opts Options) (*Compiled, error) {
 	return PrepareFullOpts(ctx, name, src, DefaultUnroll, true, opts)
 }
@@ -171,6 +180,26 @@ func PrepareFullOpts(ctx context.Context, name, src string, unroll int, optimize
 	sp = po.Span("pointsto")
 	pointsto.Analyze(mod)
 	sp.End()
+	// Persistent profile cache: a stored run for this exact module whose
+	// step count fits the current budget replaces the execution entirely
+	// (the interpreter is deterministic, so the stored Profile and checksum
+	// are the ones this run would produce). See store.go.
+	var pstore *store.Store
+	var pprefix string
+	if opts.CacheDir != "" {
+		if st, serr := store.OpenShared(opts.CacheDir, store.Options{MaxBytes: opts.CacheMaxBytes}); serr == nil {
+			st.SetObserver(po)
+			pstore, pprefix = st, keyPrefix(ModuleHash(mod))
+			if prof, ret, ok := cachedProfile(st, pprefix, mod, iopts.MaxSteps); ok {
+				psp.End()
+				o.Counter("prepare_programs").Add(1)
+				c := &Compiled{Name: name, Mod: mod, Prof: prof, Ret: ret}
+				c.EnableMemo()
+				_ = c.attachStore(opts.CacheDir, opts.CacheMaxBytes, po)
+				return c, nil
+			}
+		}
+	}
 	sp = po.Span("profile")
 	var v interp.Value
 	var prof *interp.Profile
@@ -204,6 +233,10 @@ func PrepareFullOpts(ctx context.Context, name, src string, unroll int, optimize
 	}
 	c := &Compiled{Name: name, Mod: mod, Prof: prof, Ret: v.I}
 	c.EnableMemo()
+	if pstore != nil {
+		putProfile(pstore, pprefix, mod, prof, v.I)
+		_ = c.attachStore(opts.CacheDir, opts.CacheMaxBytes, po)
+	}
 	return c, nil
 }
 
@@ -277,6 +310,17 @@ type Options struct {
 	// (see parallel.Workers). Results are identical for every worker
 	// count; only wall time changes.
 	Workers int
+	// CacheDir names a directory holding the persistent artifact store
+	// (internal/store): partition, lock, schedule, and profile results keyed
+	// by content hashes survive process restarts there. Empty (the default)
+	// disables the disk tier. The cache changes wall time and telemetry
+	// counters only — results are byte-identical across {no cache, cold
+	// cache, warm cache, corrupt cache}.
+	CacheDir string
+	// CacheMaxBytes bounds the artifact log's size; once full, new writes
+	// are shed (reads keep working). Non-positive selects
+	// store.DefaultMaxBytes.
+	CacheMaxBytes int64
 	// NoMemo disables the per-Compiled memoization cache for this run
 	// (ablation / benchmarking). Results are identical either way; only
 	// wall time and the MemoHits counters change.
@@ -430,6 +474,12 @@ var noopDone = func(*Result, error) {}
 // everything here is a no-op.
 func beginRun(c *Compiled, s Scheme, opts Options) (Options, func(*Result, error)) {
 	parent := opts.Observer
+	if opts.useMemo(c) && opts.CacheDir != "" {
+		// A failed open degrades to memory-only caching: a broken cache
+		// directory must never break an evaluation. The CLI tools open the
+		// store up front to surface such errors to the user.
+		_ = c.attachStore(opts.CacheDir, opts.CacheMaxBytes, parent)
+	}
 	if parent == nil {
 		return opts, noopDone
 	}
@@ -491,7 +541,7 @@ func computeLocks(c *Compiled, dm gdp.DataMap, opts Options) map[*ir.Func]rhop.L
 	var full map[*ir.Func]rhop.Locks
 	for _, f := range c.Mod.Funcs {
 		key := lockSigKey(memo.NewKey("locks").Str(f.Name), c, f, dm).String()
-		v, _, _ := c.memo.Do(key, func() (any, error) {
+		v, _, _ := c.memo.DoCodec(key, lockCodec{}, func() (any, error) {
 			if full == nil {
 				full = gdp.ComputeLocks(c.Mod, dm, c.Prof)
 			}
@@ -572,7 +622,7 @@ func partitionModule(c *Compiled, cfg *machine.Config, dm gdp.DataMap,
 			l = locks[f]
 		}
 		key := partitionKey(c, f, dm, l, mkey, okey)
-		v, hit, err := c.memo.Do(key, func() (any, error) {
+		v, hit, err := c.memo.DoCodec(key, partCodec{}, func() (any, error) {
 			return rhop.PartitionFunc(f, c.Prof, cfg, l, ropts)
 		})
 		if err != nil {
@@ -618,7 +668,7 @@ func programCycles(c *Compiled, cfg *machine.Config, asg map[*ir.Func][]int,
 	var sc *sched.Scratch
 	for _, f := range c.Mod.Funcs {
 		key := memo.NewKey("sched").Str(f.Name).Str(mkey).Ints(asg[f]).String()
-		v, hit, _ := c.memo.Do(key, func() (any, error) {
+		v, hit, _ := c.memo.DoCodec(key, schedCodec{}, func() (any, error) {
 			if sc == nil {
 				sc = sched.NewScratch()
 				sc.SetObserver(opts.Observer)

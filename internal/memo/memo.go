@@ -25,6 +25,16 @@
 // hit/miss statistics and the eviction victims — varies run to run; only
 // Stats is order-sensitive, never a cached value.
 //
+// The cache can carry an optional second tier (SetTier) — in practice the
+// persistent content-addressed artifact store of internal/store — consulted
+// on a first-tier miss through DoCodec's value codec. Tier-2 lookups share
+// the same singleflight: concurrent callers of one key wait on a single
+// disk read + decode (a "promotion" into the first tier) exactly as they
+// would wait on a single computation, and the promoted value is what every
+// waiter sees. A tier value that fails to decode degrades to a recompute —
+// the corruption contract is the store's: a corrupt cache is a cold cache,
+// never a wrong value.
+//
 // This package is the compile-time memoization cache. It is unrelated to
 // internal/cache, which simulates the paper's §5 future-work hardware
 // caches (set-associative LRU data caches replacing the scratchpads).
@@ -55,12 +65,35 @@ type Cache struct {
 	ll      *list.List               // completed entries, most recent first
 	entries map[string]*list.Element // key -> element whose Value is *entry
 	flights map[string]*flight       // keys currently being computed
+	tier    Tier                     // optional second (disk) tier; nil = none
 
-	hits, misses, waits, evictions uint64
+	hits, misses, waits, evictions, promotions uint64
 
 	// Mirror counters into an observer's registry (see SetObserver). The
 	// nil defaults are no-ops, so the hot paths below Add unconditionally.
-	oHits, oMisses, oWaits, oEvict *obs.Counter
+	oHits, oMisses, oWaits, oEvict, oPromote *obs.Counter
+}
+
+// Tier is a second cache level consulted on a first-tier miss (and filled
+// after a computation). Implementations deal in encoded bytes; DoCodec's
+// Codec translates. MarkCorrupt reports a value whose bytes came back fine
+// but failed to decode, so the tier can invalidate the entry. All three
+// methods must be safe for concurrent use and must never fail the caller:
+// a broken tier behaves as one that never hits and drops writes.
+type Tier interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, val []byte)
+	MarkCorrupt(key string)
+}
+
+// Codec translates one kind of cached value to and from its canonical
+// binary encoding for the second tier. Encode must be deterministic
+// (identical values encode identically); Decode must reject bytes it did
+// not produce (a wrong type tag, a bad shape) with an error, which DoCodec
+// treats as a tier miss.
+type Codec interface {
+	Encode(v any) ([]byte, error)
+	Decode(b []byte) (any, error)
 }
 
 type entry struct {
@@ -102,6 +135,19 @@ func (c *Cache) SetObserver(o *obs.Observer) {
 	c.oMisses = o.Counter("memo_misses")
 	c.oWaits = o.Counter("memo_waits")
 	c.oEvict = o.Counter("memo_evictions")
+	c.oPromote = o.Counter("memo_promotions")
+	c.mu.Unlock()
+}
+
+// SetTier attaches (or, with nil, detaches) a second cache tier consulted
+// by DoCodec on first-tier misses. Attach before the first DoCodec call
+// for full effect; attaching mid-run is safe and affects later calls.
+func (c *Cache) SetTier(t Tier) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.tier = t
 	c.mu.Unlock()
 }
 
@@ -114,6 +160,19 @@ func (c *Cache) SetObserver(o *obs.Observer) {
 // compute runs without the cache lock held, so it may itself use the cache
 // (under different keys).
 func (c *Cache) Do(key string, compute func() (any, error)) (v any, hit bool, err error) {
+	return c.DoCodec(key, nil, compute)
+}
+
+// DoCodec is Do with second-tier access: on a first-tier miss, and when
+// both a tier (SetTier) and a codec are present, the tier is consulted —
+// inside the same singleflight, so concurrent callers share one disk read
+// and decode — and a decoded value is promoted into the first tier and
+// returned as a hit. A tier value that fails to decode is reported to the
+// tier (MarkCorrupt) and falls back to compute. A computed value is
+// encoded and written behind to the tier. Tier traffic changes wall time
+// and counters, never values: the codec round-trips canonically, and any
+// mismatch degrades to the computation the cold cache would have run.
+func (c *Cache) DoCodec(key string, codec Codec, compute func() (any, error)) (v any, hit bool, err error) {
 	if c == nil {
 		v, err = compute()
 		return v, false, err
@@ -137,20 +196,51 @@ func (c *Cache) Do(key string, compute func() (any, error)) (v any, hit bool, er
 	}
 	fl := &flight{done: make(chan struct{})}
 	c.flights[key] = fl
-	c.misses++
-	c.oMisses.Add(1)
+	tier := c.tier
 	c.mu.Unlock()
 
-	fl.value, fl.err = compute()
+	promoted := false
+	if tier != nil && codec != nil {
+		if b, ok := tier.Get(key); ok {
+			if val, derr := codec.Decode(b); derr == nil {
+				fl.value = val
+				promoted = true
+			} else {
+				// Undecodable payload: invalidate and recompute. The
+				// recompute's Put below heals the entry.
+				tier.MarkCorrupt(key)
+			}
+		}
+	}
+	if !promoted {
+		fl.value, fl.err = compute()
+	}
 	close(fl.done)
 
 	c.mu.Lock()
 	delete(c.flights, key)
-	if fl.err == nil {
+	switch {
+	case promoted:
+		c.hits++
+		c.promotions++
+		c.oHits.Add(1)
+		c.oPromote.Add(1)
 		c.insert(key, fl.value)
+	case fl.err == nil:
+		c.misses++
+		c.oMisses.Add(1)
+		c.insert(key, fl.value)
+	default:
+		c.misses++
+		c.oMisses.Add(1)
 	}
 	c.mu.Unlock()
-	return fl.value, false, fl.err
+	if !promoted && fl.err == nil && tier != nil && codec != nil {
+		if b, eerr := codec.Encode(fl.value); eerr == nil {
+			tier.Put(key, b)
+		}
+	}
+	return fl.value, promoted, fl.err
 }
 
 // Get returns the value cached under key, if any.
@@ -210,9 +300,16 @@ type Stats struct {
 	// Waits counts the subset of Hits that blocked on an in-flight
 	// computation instead of reading a completed entry.
 	Waits uint64
-	// Evictions counts completed entries dropped by the LRU bound.
+	// Promotions counts the subset of Hits served by decoding a value from
+	// the second tier (the persistent artifact store) into the first. With
+	// two tiers, Hits - Promotions - Waits is the pure in-memory hit
+	// count, so -cachestats can report the tier split unambiguously.
+	Promotions uint64
+	// Evictions counts completed entries dropped by the first tier's LRU
+	// bound. Eviction never touches the second tier (it is append-only),
+	// so an evicted entry can come back later as a promotion.
 	Evictions uint64
-	// Entries is the current number of completed entries.
+	// Entries is the current number of completed first-tier entries.
 	Entries int
 }
 
@@ -232,11 +329,12 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Waits:     c.waits,
-		Evictions: c.evictions,
-		Entries:   c.ll.Len(),
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Waits:      c.waits,
+		Promotions: c.promotions,
+		Evictions:  c.evictions,
+		Entries:    c.ll.Len(),
 	}
 }
 

@@ -1,0 +1,218 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fill writes n records and closes the store, returning the log path and
+// the (key, value) pairs written.
+func fill(t *testing.T, dir string, n int) (string, [][2][]byte) {
+	t.Helper()
+	s := open(t, dir, Options{})
+	var pairs [][2][]byte
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%02d", i))
+		v := []byte(fmt.Sprintf("value-%02d-payload", i))
+		s.Put(k, v)
+		pairs = append(pairs, [2][]byte{k, v})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, LogName), pairs
+}
+
+// TestTruncatedTailSkipped pins the crash-mid-flush path: a record cut
+// short at the end of the log is dropped (counted corrupt), every earlier
+// record still hits, and the log keeps accepting appends.
+func TestTruncatedTailSkipped(t *testing.T) {
+	dir := t.TempDir()
+	path, pairs := fill(t, dir, 5)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := open(t, dir, Options{})
+	defer s.Close()
+	st := s.Stats()
+	if st.CorruptSkipped != 1 || st.Entries != 4 {
+		t.Fatalf("stats = %+v, want 1 corrupt / 4 entries", st)
+	}
+	for _, kv := range pairs[:4] {
+		if got, ok := s.Get(kv[0]); !ok || !bytes.Equal(got, kv[1]) {
+			t.Fatalf("surviving record %q = (%q, %v)", kv[0], got, ok)
+		}
+	}
+	if _, ok := s.Get(pairs[4][0]); ok {
+		t.Fatal("truncated record must miss (degrade to recompute)")
+	}
+	// The truncated tail was cut at a record boundary, so appends heal it.
+	s.Put(pairs[4][0], pairs[4][1])
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(pairs[4][0]); !ok || !bytes.Equal(got, pairs[4][1]) {
+		t.Fatalf("healed record = (%q, %v)", got, ok)
+	}
+}
+
+// TestFlippedByteMidRecordSkipped pins single-record corruption: flipping
+// one byte inside an interior record's value fails that record's CRC; only
+// that record is skipped and the scan resumes at the next frame.
+func TestFlippedByteMidRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	path, pairs := fill(t, dir, 5)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record 2's value region: skip header + 2 records, then its frame
+	// header + key.
+	recLen := recHeaderSize + len(pairs[0][0]) + len(pairs[0][1]) + 4
+	off := headerSize + 2*recLen + recHeaderSize + len(pairs[2][0]) + 3
+	data[off] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := open(t, dir, Options{})
+	defer s.Close()
+	st := s.Stats()
+	if st.CorruptSkipped != 1 || st.Entries != 4 {
+		t.Fatalf("stats = %+v, want 1 corrupt / 4 entries", st)
+	}
+	for i, kv := range pairs {
+		got, ok := s.Get(kv[0])
+		if i == 2 {
+			if ok {
+				t.Fatal("flipped record must miss")
+			}
+			continue
+		}
+		if !ok || !bytes.Equal(got, kv[1]) {
+			t.Fatalf("record %d = (%q, %v), want (%q, true)", i, got, ok, kv[1])
+		}
+	}
+}
+
+// TestWrongMagicResets pins the header check: a log whose magic is not
+// ours is unusable and degrades to a cold (reset) cache.
+func TestWrongMagicResets(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := fill(t, dir, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data[:4], "NOPE")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := open(t, dir, Options{})
+	defer s.Close()
+	st := s.Stats()
+	if st.CorruptSkipped != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v, want 1 corrupt / 0 entries (cold)", st)
+	}
+	// The reset log works like a fresh one.
+	s.Put([]byte("k"), []byte("v"))
+	if got, ok := s.Get([]byte("k")); !ok || string(got) != "v" {
+		t.Fatalf("post-reset Get = (%q, %v)", got, ok)
+	}
+}
+
+// TestWrongVersionResets pins the format-generation check: a log written
+// by a different FormatVersion degrades to a cold cache, never a misread.
+func TestWrongVersionResets(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := fill(t, dir, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(data[4:8], FormatVersion+1)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := open(t, dir, Options{})
+	defer s.Close()
+	st := s.Stats()
+	if st.CorruptSkipped != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v, want 1 corrupt / 0 entries (cold)", st)
+	}
+}
+
+// TestCorruptFrameHeaderTruncatesTail pins the unresyncable case: a record
+// whose frame magic is destroyed makes the rest of the log untrustworthy,
+// so the scan stops there — earlier records survive, later ones degrade to
+// recompute.
+func TestCorruptFrameHeaderTruncatesTail(t *testing.T) {
+	dir := t.TempDir()
+	path, pairs := fill(t, dir, 5)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLen := recHeaderSize + len(pairs[0][0]) + len(pairs[0][1]) + 4
+	off := headerSize + 2*recLen // record 2's frame magic
+	data[off] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := open(t, dir, Options{})
+	defer s.Close()
+	st := s.Stats()
+	if st.CorruptSkipped != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 corrupt / 2 entries", st)
+	}
+	for _, kv := range pairs[:2] {
+		if got, ok := s.Get(kv[0]); !ok || !bytes.Equal(got, kv[1]) {
+			t.Fatalf("pre-corruption record %q = (%q, %v)", kv[0], got, ok)
+		}
+	}
+	for _, kv := range pairs[2:] {
+		if _, ok := s.Get(kv[0]); ok {
+			t.Fatalf("post-corruption record %q must miss", kv[0])
+		}
+	}
+}
+
+// TestGarbageFileResets pins that a log shorter than its header (or pure
+// garbage) starts cold instead of failing Open.
+func TestGarbageFileResets(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, LogName), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := open(t, dir, Options{})
+	defer s.Close()
+	if st := s.Stats(); st.CorruptSkipped != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v, want 1 corrupt / 0 entries", st)
+	}
+}
+
+// TestMarkCorruptDropsEntry pins the higher-level decode-failure path.
+func TestMarkCorruptDropsEntry(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	defer s.Close()
+	s.Put([]byte("k"), []byte("undecodable"))
+	s.MarkCorrupt([]byte("k"))
+	if _, ok := s.Get([]byte("k")); ok {
+		t.Fatal("marked-corrupt entry must miss")
+	}
+	if st := s.Stats(); st.CorruptSkipped != 1 {
+		t.Fatalf("stats = %+v, want 1 corrupt", st)
+	}
+}

@@ -1,0 +1,83 @@
+package store
+
+import (
+	"path/filepath"
+	"sync"
+)
+
+// The shared registry hands out one Store per cache directory per process.
+// Everything that names a directory — eval.Options.CacheDir on any number
+// of concurrently compiled programs, the cmd tools' -cachedir flag —
+// funnels through here, so one process never holds two handles (and two
+// indexes) on the same log.
+var (
+	sharedMu sync.Mutex
+	shared   = map[string]*Store{}
+)
+
+func sharedKey(dir string) string {
+	if abs, err := filepath.Abs(dir); err == nil {
+		return abs
+	}
+	return filepath.Clean(dir)
+}
+
+// OpenShared returns the process-wide Store for dir, opening the log and
+// rebuilding its index on first use. Later calls for the same directory
+// return the same handle and ignore opts (the first opener's options
+// stick). Open errors are not cached: a failed open is retried by the next
+// call.
+func OpenShared(dir string, opts Options) (*Store, error) {
+	key := sharedKey(dir)
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if s, ok := shared[key]; ok {
+		return s, nil
+	}
+	s, err := Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	shared[key] = s
+	return s, nil
+}
+
+// SharedStats reports the counters of dir's shared handle; ok is false
+// when no shared store for dir is open in this process.
+func SharedStats(dir string) (Stats, bool) {
+	sharedMu.Lock()
+	s, ok := shared[sharedKey(dir)]
+	sharedMu.Unlock()
+	if !ok {
+		return Stats{}, false
+	}
+	return s.Stats(), true
+}
+
+// FlushShared flushes dir's shared handle (a no-op when none is open).
+// The cmd tools call this before exiting so write-behind records land.
+func FlushShared(dir string) error {
+	sharedMu.Lock()
+	s, ok := shared[sharedKey(dir)]
+	sharedMu.Unlock()
+	if !ok {
+		return nil
+	}
+	return s.Flush()
+}
+
+// DropShared flushes, closes, and forgets dir's shared handle, so the next
+// OpenShared reopens the log and rebuilds the index from disk. This is how
+// tests and the warm-restart benchmark simulate a process restart without
+// forking.
+func DropShared(dir string) error {
+	key := sharedKey(dir)
+	sharedMu.Lock()
+	s, ok := shared[key]
+	delete(shared, key)
+	sharedMu.Unlock()
+	if !ok {
+		return nil
+	}
+	return s.Close()
+}

@@ -40,6 +40,7 @@ import (
 	"mcpart/internal/parallel"
 	"mcpart/internal/rhop"
 	"mcpart/internal/sched"
+	"mcpart/internal/store"
 )
 
 // Machine describes a multicluster VLIW target (clusters, function units,
@@ -219,6 +220,14 @@ type CompileOptions struct {
 	// the bytecode VM (ablation and differential debugging; results are
 	// identical, only wall time changes).
 	LegacyInterp bool
+	// CacheDir names a persistent artifact-store directory (see
+	// Options.CacheDir): when the store holds a profile for this exact
+	// module, compilation skips the profiling execution entirely. Empty
+	// disables the disk cache.
+	CacheDir string
+	// CacheMaxBytes bounds the artifact log (non-positive: the store's
+	// 1 GiB default).
+	CacheMaxBytes int64
 }
 
 // Compile builds a Program from mclang source with default options.
@@ -241,7 +250,8 @@ func CompileCtx(ctx context.Context, name, source string, opts CompileOptions) (
 		unroll = eval.DefaultUnroll
 	}
 	c, err := eval.PrepareFullOpts(ctx, name, source, unroll, !opts.NoOptimize,
-		eval.Options{MaxSteps: opts.MaxSteps, LegacyInterp: opts.LegacyInterp})
+		eval.Options{MaxSteps: opts.MaxSteps, LegacyInterp: opts.LegacyInterp,
+			CacheDir: opts.CacheDir, CacheMaxBytes: opts.CacheMaxBytes})
 	if err != nil {
 		return nil, err
 	}
@@ -297,24 +307,36 @@ func (p *Program) Objects() []ObjectInfo {
 // The counters describe work saved, never results: cached and uncached
 // evaluations are byte-identical.
 type MemoStats struct {
-	Hits      uint64 // computations answered from the cache
-	Misses    uint64 // computations actually run
-	Waits     uint64 // hits that waited on an in-flight computation
-	Evictions uint64 // entries dropped by the LRU bound
-	Entries   int    // entries currently resident
+	Hits       uint64 // computations answered from the cache
+	Misses     uint64 // computations actually run
+	Waits      uint64 // hits that waited on an in-flight computation
+	Promotions uint64 // hits served by decoding the persistent disk tier
+	Evictions  uint64 // entries dropped by the LRU bound
+	Entries    int    // entries currently resident
 }
 
 // MemoStats reports the program's memoization-cache counters.
 func (p *Program) MemoStats() MemoStats {
 	s := p.c.MemoStats()
 	return MemoStats{
-		Hits:      s.Hits,
-		Misses:    s.Misses,
-		Waits:     s.Waits,
-		Evictions: s.Evictions,
-		Entries:   s.Entries,
+		Hits:       s.Hits,
+		Misses:     s.Misses,
+		Waits:      s.Waits,
+		Promotions: s.Promotions,
+		Evictions:  s.Evictions,
+		Entries:    s.Entries,
 	}
 }
+
+// StoreStats are the persistent artifact store's counters (internal/store):
+// disk-tier hits and misses, records written, corrupt records skipped, and
+// log size. All-zero when no cache directory is attached. Like MemoStats
+// they describe work saved, never results.
+type StoreStats = store.Stats
+
+// StoreStats reports the program's artifact-store counters (zero value
+// when CompileOptions.CacheDir / Options.CacheDir was never set).
+func (p *Program) StoreStats() StoreStats { return p.c.StoreStats() }
 
 // Evaluate runs one scheme on the program and machine.
 func Evaluate(p *Program, m *Machine, s Scheme, opts Options) (*Result, error) {
