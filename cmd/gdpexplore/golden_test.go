@@ -58,3 +58,16 @@ func TestMetricsGolden(t *testing.T) {
 	}
 	checkGolden(t, "metrics_fir", sb.String())
 }
+
+// TestBestMetricsGolden pins the -best output and its metric summary:
+// the branch-and-bound counters are nonzero, and the sweep-enumeration
+// counters report explicit zeros (the search never walks the Gray
+// sequence). Deterministic at any -j: the search itself is serial and
+// only the table build fans out, so -j 1 pins the memo counts too.
+func TestBestMetricsGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "fir", "-j", "1", "-best", "-metrics"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "best_metrics_fir", sb.String())
+}

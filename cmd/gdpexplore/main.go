@@ -24,7 +24,18 @@
 // shares per-function lock signatures with many others) and on
 // complement-symmetry pruning; -nomemo disables the former for A/B
 // timing, and -cachestats reports what the cache did (to stderr, so CSV
-// output stays clean).
+// output stays clean). The sweep itself runs as a Gray-code delta
+// enumeration over per-function cost tables (DESIGN.md §13); -nodelta
+// falls back to the full per-mask engine for A/B timing — the output is
+// byte-identical either way.
+//
+// For programs with too many objects to sweep, -best runs a
+// branch-and-bound search that returns only the optimal mapping (the
+// same optimum the sweep's Best reports), raising the default object
+// cap from 14 to 24 unless -maxobjects is given explicitly:
+//
+//	gdpexplore -bench rawcaudio -best
+//	gdpexplore -bench rawcaudio -nodelta   # time the per-mask engine
 //
 // Observability (DESIGN.md §10): -metrics prints the sweep's metric
 // summary (eval_masks, memo hits, FM moves, ...), -trace FILE the
@@ -42,6 +53,7 @@ import (
 	"os"
 
 	"mcpart"
+	"mcpart/internal/defaults"
 	"mcpart/internal/eval"
 	"mcpart/internal/obs"
 	"mcpart/internal/parallel"
@@ -69,13 +81,15 @@ func run(args []string, out io.Writer) (err error) {
 	var (
 		benchN   = fs.String("bench", "rawcaudio", "benchmark to explore")
 		latency  = fs.Int("latency", 5, "intercluster move latency")
-		maxObj   = fs.Int("maxobjects", 14, "refuse programs with more data objects")
+		maxObj   = fs.Int("maxobjects", defaults.DefaultMaxObjects, "refuse programs with more data objects")
 		csv      = fs.Bool("csv", false, "emit CSV instead of a text scatter")
 		jobs     = fs.Int("j", 0, "search worker count (0 = GOMAXPROCS)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 		stats    = fs.Bool("cachestats", false, "print memoization cache statistics to stderr")
 		noMemo   = fs.Bool("nomemo", false, "disable the partition-result memoization cache")
+		noDelta  = fs.Bool("nodelta", false, "evaluate every mask through the full per-mask engine instead of the Gray-code delta sweep")
+		bestOnly = fs.Bool("best", false, "find only the optimal mapping by branch and bound (no full sweep; default object cap rises to the -best limit)")
 		legacy   = fs.Bool("legacypartition", false, "use the legacy graph partitioner instead of the gain-bucket FM fast path")
 		legInt   = fs.Bool("legacyinterp", false, "profile with the tree-walking interpreter instead of the bytecode VM")
 		validate = fs.Bool("validate", false, "re-check every mapping's result with the independent schedule validator")
@@ -133,7 +147,26 @@ func run(args []string, out io.Writer) (err error) {
 		return err
 	}
 	m := mcpart.Paper2Cluster(*latency)
-	ex, err := mcpart.ExhaustiveSearchCtx(ctx, p, m, mcpart.Options{Workers: *jobs, NoMemo: *noMemo, LegacyPartition: *legacy, Validate: *validate, CacheDir: *cacheDir, CacheMaxBytes: *cacheMax, Observer: sinks.Observer()}, *maxObj)
+	opts := mcpart.Options{Workers: *jobs, NoMemo: *noMemo, NoDelta: *noDelta, LegacyPartition: *legacy, Validate: *validate, CacheDir: *cacheDir, CacheMaxBytes: *cacheMax, Observer: sinks.Observer()}
+	if *bestOnly {
+		// -best raises the object cap to the branch-and-bound default
+		// unless the user pinned -maxobjects explicitly.
+		capObj := 0
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "maxobjects" {
+				capObj = *maxObj
+			}
+		})
+		br, err := mcpart.BestMappingCtx(ctx, p, m, opts, capObj)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s: optimal mapping mask %b (%#x)\n", *benchN, br.Mask, br.Mask)
+		fmt.Fprintf(out, "cycles %d  moves %d\n", br.Cycles, br.Moves)
+		fmt.Fprintf(out, "search: %d nodes visited, %d subtrees pruned\n", br.NodesVisited, br.NodesPruned)
+		return nil
+	}
+	ex, err := mcpart.ExhaustiveSearchCtx(ctx, p, m, opts, *maxObj)
 	if err != nil {
 		return err
 	}

@@ -53,6 +53,36 @@ func TestExploreErrors(t *testing.T) {
 	}
 }
 
+func TestExploreBest(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "fir", "-best"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"optimal mapping mask", "cycles ", "nodes visited"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-best output missing %q:\n%s", want, out)
+		}
+	}
+	// An explicit -maxobjects still wins over the raised -best default.
+	if err := run([]string{"-bench", "fir", "-best", "-maxobjects", "2"}, &sb); err == nil {
+		t.Error("-best ignored an explicit -maxobjects below the object count")
+	}
+}
+
+func TestExploreNoDeltaMatchesDefault(t *testing.T) {
+	var delta, full strings.Builder
+	if err := run([]string{"-bench", "fir", "-csv"}, &delta); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-bench", "fir", "-csv", "-nodelta"}, &full); err != nil {
+		t.Fatal(err)
+	}
+	if delta.String() != full.String() {
+		t.Error("-nodelta changed the CSV output")
+	}
+}
+
 func TestExploreNoMemoMatchesDefault(t *testing.T) {
 	var memoed, plain strings.Builder
 	if err := run([]string{"-bench", "fir", "-csv"}, &memoed); err != nil {

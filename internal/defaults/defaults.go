@@ -17,6 +17,18 @@
 // flags and Options.Workers fields: non-positive means GOMAXPROCS).
 package defaults
 
+// DefaultMaxObjects is the exhaustive mapping sweep's object-count cap:
+// the sweep materializes 2^n points, so every entry point (eval.Exhaustive
+// and the gdpexplore -maxobjects flag) refuses programs with more objects
+// than this unless the caller raises the cap explicitly.
+const DefaultMaxObjects = 14
+
+// DefaultBestMaxObjects is the branch-and-bound best-mapping search's
+// object-count cap. BestMapping visits only the subtrees its lower bound
+// cannot prune and never materializes the 2^n point set, so its practical
+// reach is well past the sweep's.
+const DefaultBestMaxObjects = 24
+
 // Int returns v, or d when v is non-positive.
 func Int(v, d int) int {
 	if v <= 0 {

@@ -28,6 +28,21 @@ func TestInt64(t *testing.T) {
 	}
 }
 
+// TestObjectCaps pins the shared sweep/search object-count defaults that
+// eval and cmd/gdpexplore route through this package: changing either is
+// a user-visible behavior change and must be deliberate.
+func TestObjectCaps(t *testing.T) {
+	if DefaultMaxObjects != 14 {
+		t.Errorf("DefaultMaxObjects = %d, want 14", DefaultMaxObjects)
+	}
+	if DefaultBestMaxObjects != 24 {
+		t.Errorf("DefaultBestMaxObjects = %d, want 24", DefaultBestMaxObjects)
+	}
+	if DefaultBestMaxObjects <= DefaultMaxObjects {
+		t.Error("the branch-and-bound cap must exceed the sweep cap")
+	}
+}
+
 func TestFloat(t *testing.T) {
 	for _, tc := range []struct{ v, d, want float64 }{
 		{0, 0.4, 0.4},

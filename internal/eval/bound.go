@@ -1,0 +1,372 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"mcpart/internal/defaults"
+	"mcpart/internal/machine"
+	"mcpart/internal/obs"
+)
+
+// This file implements the branch-and-bound best-mapping search behind
+// BestMapping.
+//
+// The Gray-code sweep (sweep.go) makes enumerating all 2^n mappings cheap
+// per point, but the point count itself is still exponential. When only the
+// optimum is wanted, the same per-function cost tables support an exact
+// search that never materializes the point set: program cycles are the sum
+// of per-function table entries, so for any partial object assignment the
+// sum of each function's minimum over its undecided table bits is an
+// admissible lower bound — no completion of the prefix can cost less,
+// because the functions' minima are taken independently. A depth-first
+// search over object-assignment prefixes prunes every subtree whose bound
+// already meets the best complete mapping found, which is what lifts the
+// practical object cap from DefaultMaxObjects to DefaultBestMaxObjects.
+//
+// The bound is maintained incrementally, mirroring the sweep's delta
+// discipline: assigning one object only re-indexes the tables of the
+// functions touching it, so a DFS step costs O(touching functions), not
+// O(functions). Each function's minima come from a ladder of min-tables
+// built once after phase 1 — level j holds, for every value of the
+// function's first j decided bits (in global search order), the minimum
+// cost over the remaining bits:
+//
+//	lvl[t]   = the function's full cost table (repacked in search order)
+//	lvl[j]   = min(lvl[j+1][v], lvl[j+1][v | 1<<j])
+//
+// On cluster-symmetric machines object 0 is pinned to cluster 0 and
+// searched first, exactly matching the sweep's canonical-mask convention
+// (phase 1 leaves object-0=1 signatures unbuilt, and pinning guarantees
+// the ladder never takes minima across that hole).
+
+// BestResult is the outcome of a branch-and-bound best-mapping search.
+type BestResult struct {
+	// Mask is an optimal data-object mapping (bit i = cluster of object
+	// i); ties resolve to the first optimum the search reaches, which is
+	// deterministic for a given program and machine.
+	Mask uint64
+	// Cycles is the dynamic cycle count under Mask — equal to
+	// ExhaustiveResult.Best whenever the full sweep is feasible.
+	Cycles int64
+	// Moves is the intercluster move count under Mask.
+	Moves int64
+	// NodesVisited and NodesPruned count DFS nodes expanded and subtrees
+	// cut by the lower bound (also published as bb_nodes_visited /
+	// bb_nodes_pruned counters).
+	NodesVisited int64
+	NodesPruned  int64
+}
+
+// bbTableBudget caps the total min-table ladder size (entries across all
+// functions and levels). The ladder for a function touching t objects has
+// 2^(t+1) entries, so the cap really bounds per-function touched-object
+// counts; programs under DefaultBestMaxObjects objects only approach it
+// when single functions touch most of the objects — exactly the case
+// where phase 1 (2^t pipeline runs for that function) is infeasible
+// anyway.
+const bbTableBudget = 1 << 25
+
+// BestMapping finds a cycle-optimal data-object mapping for a 2-cluster
+// machine without enumerating the 2^n mapping space. maxObjects guards the
+// search like Exhaustive's cap (non-positive selects
+// defaults.DefaultBestMaxObjects); the result's Cycles always equals the
+// minimum the exhaustive sweep would report.
+func BestMapping(c *Compiled, cfg *machine.Config, opts Options, maxObjects int) (*BestResult, error) {
+	return BestMappingCtx(context.Background(), c, cfg, opts, maxObjects)
+}
+
+// BestMappingCtx is BestMapping under a context: cancellation stops phase 1
+// between signatures and the DFS between nodes.
+func BestMappingCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts Options, maxObjects int) (*BestResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx = obs.With(ctx, opts.Observer)
+	opts.ctx = ctx
+	opts.Observer = opts.Observer.Named("best").Named(c.Name)
+	if cfg.NumClusters() != 2 {
+		return nil, fmt.Errorf("eval: best-mapping search needs a 2-cluster machine, got %d", cfg.NumClusters())
+	}
+	registerSweepCounters(opts.Observer)
+	n := len(c.Mod.Objects)
+	if maxObjects <= 0 {
+		maxObjects = defaults.DefaultBestMaxObjects
+	}
+	if n > maxObjects {
+		return nil, fmt.Errorf("eval: %s has %d objects; best-mapping search capped at %d", c.Name, n, maxObjects)
+	}
+	canon := cfg.SymmetricClusters()
+
+	// Phase 1: the same per-function cost tables the sweep builds, through
+	// the same memo keys.
+	opts2, done := beginRun(c, SchemeFixed, opts)
+	res := &Result{Scheme: SchemeFixed}
+	tables, err := buildCostTables(ctx, c, cfg, opts2, canon, n, res)
+	if err != nil {
+		err = sweepErr(c, err)
+		done(nil, err)
+		return nil, err
+	}
+	done(res, nil)
+
+	var budget int64
+	for ti := range tables {
+		budget += int64(2) << uint(len(tables[ti].objs))
+	}
+	if budget > bbTableBudget {
+		return nil, fmt.Errorf("eval: %s min-table ladder needs %d entries (budget %d); reduce touched-object fan-in or use the exhaustive sweep", c.Name, budget, bbTableBudget)
+	}
+
+	// Global search order: object 0 first when canonical (it is pinned to
+	// cluster 0), then descending impact — the summed cost spread of the
+	// tables touching the object — so high-leverage decisions happen high
+	// in the tree and the bound tightens early.
+	impact := make([]int64, n)
+	for ti := range tables {
+		t := &tables[ti]
+		if len(t.objs) == 0 {
+			continue
+		}
+		lo, hi := t.minMax(canon)
+		for _, o := range t.objs {
+			impact[o] += hi - lo
+		}
+	}
+	order := make([]int, 0, n)
+	for o := 0; o < n; o++ {
+		if !canon || o != 0 {
+			order = append(order, o)
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool { return impact[order[i]] > impact[order[j]] })
+	if canon && n > 0 {
+		order = append([]int{0}, order...)
+	}
+	depthOf := make([]int, n)
+	for d, o := range order {
+		depthOf[o] = d
+	}
+
+	// Build each function's min-table ladder in search order.
+	ladders := make([]*bbLadder, len(tables))
+	for ti := range tables {
+		ladders[ti] = newBBLadder(&tables[ti], depthOf, canon)
+	}
+	objRefs := make([][]int, n)
+	for ti := range tables {
+		for _, o := range tables[ti].objs {
+			objRefs[o] = append(objRefs[o], ti)
+		}
+	}
+
+	search := &bbSearch{
+		order:   order,
+		objRefs: objRefs,
+		ladders: ladders,
+		canon:   canon,
+		ctx:     ctx,
+		best:    int64(1)<<62 - 1,
+	}
+	// Root bound: every function's global minimum.
+	for _, l := range ladders {
+		search.bound += l.lvl[0][0]
+	}
+	if err := search.dfs(0); err != nil {
+		return nil, err
+	}
+
+	out := &BestResult{
+		Mask:         search.bestMask,
+		Cycles:       search.best,
+		NodesVisited: search.visited,
+		NodesPruned:  search.pruned,
+	}
+	for ti := range tables {
+		t := &tables[ti]
+		sig := 0
+		for bi, o := range t.objs {
+			sig |= int(out.Mask>>uint(o)&1) << uint(bi)
+		}
+		out.Moves += t.cost[sig].Moves
+	}
+	opts.Observer.Counter("bb_nodes_visited").Add(search.visited)
+	opts.Observer.Counter("bb_nodes_pruned").Add(search.pruned)
+	return out, nil
+}
+
+// minMax scans a table's reachable entries for its cost spread.
+func (t *costTable) minMax(canon bool) (lo, hi int64) {
+	fixed0 := canon && len(t.objs) > 0 && t.objs[0] == 0
+	first := true
+	for sig := range t.cost {
+		if fixed0 && sig&1 == 1 {
+			continue
+		}
+		cyc := t.cost[sig].Cycles
+		if first {
+			lo, hi = cyc, cyc
+			first = false
+			continue
+		}
+		if cyc < lo {
+			lo = cyc
+		}
+		if cyc > hi {
+			hi = cyc
+		}
+	}
+	return lo, hi
+}
+
+// bbLadder is one function's min-table ladder. Level j is indexed by the
+// values of the function's first j decided bits (in global search order)
+// and holds the minimum cycles over all completions of the rest.
+type bbLadder struct {
+	lvl [][]int64
+	// depth and prefix are the DFS's cursor into the ladder: how many of
+	// the function's bits the current partial assignment has decided, and
+	// their packed values.
+	depth  int
+	prefix int
+}
+
+func newBBLadder(t *costTable, depthOf []int, canon bool) *bbLadder {
+	tb := len(t.objs)
+	// Local bit order: the function's objects sorted by global search
+	// depth, so the DFS always extends the prefix at the current depth.
+	perm := make([]int, tb)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return depthOf[t.objs[perm[a]]] < depthOf[t.objs[perm[b]]] })
+
+	l := &bbLadder{lvl: make([][]int64, tb+1)}
+	top := make([]int64, 1<<uint(tb))
+	fixed0 := canon && tb > 0 && t.objs[0] == 0
+	for v := range top {
+		sig := 0
+		for j, p := range perm {
+			sig |= (v >> uint(j) & 1) << uint(p)
+		}
+		if fixed0 && sig&1 == 1 {
+			// Unreachable under canonical pinning (phase 1 left it
+			// unbuilt). Object 0 is searched first, so no minimum below
+			// ever spans this entry; poison it defensively.
+			top[v] = int64(1)<<62 - 1
+			continue
+		}
+		top[v] = t.cost[sig].Cycles
+	}
+	l.lvl[tb] = top
+	for j := tb - 1; j >= 0; j-- {
+		cur := make([]int64, 1<<uint(j))
+		next := l.lvl[j+1]
+		for v := range cur {
+			a, b := next[v], next[v|1<<uint(j)]
+			if b < a {
+				a = b
+			}
+			cur[v] = a
+		}
+		l.lvl[j] = cur
+	}
+	return l
+}
+
+// bbSearch is the DFS state: the incremental bound, the incumbent, and the
+// per-ladder cursors.
+type bbSearch struct {
+	order   []int
+	objRefs [][]int
+	ladders []*bbLadder
+	canon   bool
+	ctx     context.Context
+
+	bound    int64 // admissible lower bound for the current prefix
+	mask     uint64
+	best     int64
+	bestMask uint64
+	visited  int64
+	pruned   int64
+}
+
+// assign extends the prefix with object obj = v and returns the bound
+// delta (always >= 0: deciding a bit can only raise each function's
+// minimum).
+func (s *bbSearch) assign(obj, v int) int64 {
+	var delta int64
+	for _, ti := range s.objRefs[obj] {
+		l := s.ladders[ti]
+		old := l.lvl[l.depth][l.prefix]
+		l.prefix |= v << uint(l.depth)
+		l.depth++
+		delta += l.lvl[l.depth][l.prefix] - old
+	}
+	s.bound += delta
+	if v == 1 {
+		s.mask |= 1 << uint(obj)
+	}
+	return delta
+}
+
+// unassign reverts the matching assign.
+func (s *bbSearch) unassign(obj, v int, delta int64) {
+	for _, ti := range s.objRefs[obj] {
+		l := s.ladders[ti]
+		l.depth--
+		l.prefix &^= 1 << uint(l.depth)
+	}
+	s.bound -= delta
+	s.mask &^= 1 << uint(obj)
+}
+
+func (s *bbSearch) dfs(depth int) error {
+	if err := s.ctx.Err(); err != nil {
+		return err
+	}
+	s.visited++
+	if depth == len(s.order) {
+		// Complete assignment: the bound is the exact total.
+		if s.bound < s.best {
+			s.best = s.bound
+			s.bestMask = s.mask
+		}
+		return nil
+	}
+	obj := s.order[depth]
+	// Object 0 is pinned on symmetric machines (canonical masks).
+	if s.canon && obj == 0 {
+		delta := s.assign(obj, 0)
+		err := s.dfs(depth + 1)
+		s.unassign(obj, 0, delta)
+		return err
+	}
+	// Probe both children and descend best-first: a near-optimal
+	// incumbent early makes the bound bite everywhere else.
+	d0 := s.assign(obj, 0)
+	b0 := s.bound
+	s.unassign(obj, 0, d0)
+	d1 := s.assign(obj, 1)
+	b1 := s.bound
+	s.unassign(obj, 1, d1)
+	children := [2]int{0, 1}
+	if b1 < b0 {
+		children = [2]int{1, 0}
+	}
+	for _, v := range children {
+		delta := s.assign(obj, v)
+		if s.bound >= s.best {
+			s.pruned++
+			s.unassign(obj, v, delta)
+			continue
+		}
+		err := s.dfs(depth + 1)
+		s.unassign(obj, v, delta)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

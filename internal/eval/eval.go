@@ -82,23 +82,7 @@ func (c *Compiled) EnableMemo() {
 	c.memo = memo.New(0)
 	c.touched = make(map[*ir.Func][]int, len(c.Mod.Funcs))
 	for _, f := range c.Mod.Funcs {
-		seen := map[int]bool{}
-		var objs []int
-		for _, b := range f.Blocks {
-			for _, op := range b.Ops {
-				if !op.Opcode.IsMem() {
-					continue
-				}
-				for _, objID := range op.MayAccess {
-					if !seen[objID] {
-						seen[objID] = true
-						objs = append(objs, objID)
-					}
-				}
-			}
-		}
-		sort.Ints(objs)
-		c.touched[f] = objs
+		c.touched[f] = rhop.TouchedObjects(f)
 	}
 }
 
@@ -325,6 +309,12 @@ type Options struct {
 	// (ablation / benchmarking). Results are identical either way; only
 	// wall time and the MemoHits counters change.
 	NoMemo bool
+	// NoDelta makes Exhaustive evaluate every mask through the full
+	// per-mask pipeline (RunWithDataMap per point) instead of the
+	// Gray-code delta sweep. Point values are byte-identical either way —
+	// both paths sum the same memoized per-function results — so this is
+	// the A/B keep for differential tests and the sweep benchmarks.
+	NoDelta bool
 	// NoSymPrune makes Exhaustive evaluate every mask instead of half the
 	// space on cluster-symmetric machines. Point values are identical
 	// either way: symmetric machines canonicalize each mask to its
@@ -522,12 +512,7 @@ func (o Options) useMemo(c *Compiled) bool { return !o.NoMemo && c.memo != nil }
 // for f — and therefore identical partitions — no matter how they map the
 // module's other objects.
 func lockSigKey(k *memo.Key, c *Compiled, f *ir.Func, dm gdp.DataMap) *memo.Key {
-	objs := c.touched[f]
-	proj := make([]int, len(objs))
-	for i, objID := range objs {
-		proj[i] = dm[objID]
-	}
-	return k.Ints(proj)
+	return k.Proj(dm, c.touched[f])
 }
 
 // computeLocks is gdp.ComputeLocks with per-function lock-signature

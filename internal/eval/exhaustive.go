@@ -4,11 +4,23 @@ import (
 	"context"
 	"fmt"
 
+	"mcpart/internal/defaults"
 	"mcpart/internal/gdp"
 	"mcpart/internal/machine"
 	"mcpart/internal/obs"
 	"mcpart/internal/parallel"
 )
+
+// registerSweepCounters pre-registers the sweep and branch-and-bound
+// counters so a clean -metrics run reports explicit zeros instead of
+// silently omitting paths that never fired (e.g. bb_* without -best, or
+// sweep_* under -nodelta).
+func registerSweepCounters(o *obs.Observer) {
+	o.Counter("sweep_masks_delta").Add(0)
+	o.Counter("sweep_funcs_recomputed").Add(0)
+	o.Counter("bb_nodes_visited").Add(0)
+	o.Counter("bb_nodes_pruned").Add(0)
+}
 
 // MappingPoint is one point of the Figure 9 scatter: a complete data-object
 // mapping, its achieved cycles, and its data-size balance.
@@ -72,9 +84,10 @@ func ExhaustiveCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts O
 	if cfg.NumClusters() != 2 {
 		return nil, fmt.Errorf("eval: exhaustive search needs a 2-cluster machine, got %d", cfg.NumClusters())
 	}
+	registerSweepCounters(opts.Observer)
 	n := len(c.Mod.Objects)
 	if maxObjects <= 0 {
-		maxObjects = 14
+		maxObjects = defaults.DefaultMaxObjects
 	}
 	if n > maxObjects {
 		return nil, fmt.Errorf("eval: %s has %d objects; exhaustive search capped at %d", c.Name, n, maxObjects)
@@ -119,7 +132,16 @@ func ExhaustiveCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts O
 	}
 
 	res := &ExhaustiveResult{}
-	if canon && !opts.NoSymPrune && n > 0 {
+	if !opts.NoDelta && opts.Inject == nil && !opts.Validate && n > 0 {
+		// Gray-code delta sweep (see sweep.go): byte-identical points at a
+		// fraction of the per-mask cost. Fault injection and per-point
+		// validation need the full per-mask pipeline, so they fall through.
+		points, err := sweepPoints(ctx, c, cfg, opts, bytes, totalBytes, canon, n)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = points
+	} else if canon && !opts.NoSymPrune && n > 0 {
 		// Evaluate only the canonical (even) half; mirror each point onto
 		// its odd complement. Mirrored values are exactly what evaluating
 		// the odd mask would have produced, since evalMask canonicalizes.

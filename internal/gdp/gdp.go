@@ -404,18 +404,26 @@ func scaleFreq(freq int64) int64 {
 func ComputeLocks(m *ir.Module, dm DataMap, prof *interp.Profile) map[*ir.Func]rhop.Locks {
 	out := make(map[*ir.Func]rhop.Locks, len(m.Funcs))
 	for _, f := range m.Funcs {
-		locks := rhop.Locks{}
-		for _, b := range f.Blocks {
-			for _, op := range b.Ops {
-				if !op.Opcode.IsMem() || len(op.MayAccess) == 0 {
-					continue
-				}
-				locks[op.ID] = homeFor(op, dm, prof)
-			}
-		}
-		out[f] = locks
+		out[f] = ComputeLocksFunc(f, dm, prof)
 	}
 	return out
+}
+
+// ComputeLocksFunc is ComputeLocks restricted to one function: the locks of
+// f depend only on dm's homes for the objects f's memory ops may access, so
+// a mapping sweep can recompute exactly the functions a data-map change
+// touches.
+func ComputeLocksFunc(f *ir.Func, dm DataMap, prof *interp.Profile) rhop.Locks {
+	locks := rhop.Locks{}
+	for _, b := range f.Blocks {
+		for _, op := range b.Ops {
+			if !op.Opcode.IsMem() || len(op.MayAccess) == 0 {
+				continue
+			}
+			locks[op.ID] = homeFor(op, dm, prof)
+		}
+	}
+	return locks
 }
 
 func homeFor(op *ir.Op, dm DataMap, prof *interp.Profile) int {

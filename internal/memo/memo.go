@@ -379,6 +379,22 @@ func (k *Key) Ints(vs []int) *Key {
 	return k
 }
 
+// Proj appends the projection of vs onto the index set idx as one
+// component, byte-identical to Ints of the materialized projection —
+// Proj(vs, idx) and Ints(proj) where proj[i] = vs[idx[i]] build the same
+// key. Sweep-style callers project a full data map onto a function's
+// touched-object set per evaluation; Proj skips the intermediate slice.
+func (k *Key) Proj(vs []int, idx []int) *Key {
+	k.b = strconv.AppendInt(k.b, int64(len(idx)), 10)
+	k.b = append(k.b, '[')
+	for _, i := range idx {
+		k.b = strconv.AppendInt(k.b, int64(vs[i]), 10)
+		k.b = append(k.b, ',')
+	}
+	k.b = append(k.b, ']', '|')
+	return k
+}
+
 // Bytes appends raw bytes as one length-delimited component (used for
 // dense encodings like one-byte-per-op assignments).
 func (k *Key) Bytes(bs []byte) *Key {

@@ -48,11 +48,30 @@ func NewGraph(n, dims int) *Graph {
 		Adj:   make([][]Edge, n),
 		Fixed: make([]int, n),
 	}
+	backing := make([]int64, n*dims)
 	for i := range g.W {
-		g.W[i] = make([]int64, dims)
+		g.W[i] = backing[i*dims : (i+1)*dims : (i+1)*dims]
 		g.Fixed[i] = -1
 	}
 	return g
+}
+
+// Reserve presizes the adjacency lists for the given per-node half-edge
+// counts, carving all lists out of one backing array. deg[i] must be an
+// upper bound on the half-edges Connect will add at node i (parallel edges
+// count once per Connect call; merging only shrinks the final length).
+// Purely an allocation hint: connectivity and results are unaffected.
+func (g *Graph) Reserve(deg []int) {
+	total := 0
+	for _, d := range deg {
+		total += d
+	}
+	backing := make([]Edge, total)
+	off := 0
+	for i, d := range deg {
+		g.Adj[i] = backing[off : off : off+d]
+		off += d
+	}
 }
 
 // Len returns the node count.

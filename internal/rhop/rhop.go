@@ -103,19 +103,58 @@ func (o Options) CacheKey() string {
 // therefore one worker goroutine) owns: the list scheduler's node tables,
 // the value-home buffer, and the schedule estimator's dense tables. It is
 // created per call — never shared, never global — so concurrent
-// PartitionFunc calls stay race-free.
+// PartitionFunc calls stay race-free. A FuncPartitioner owns one scratch
+// for its whole lifetime instead.
 type scratch struct {
 	sched *sched.Scratch
 	home  sched.HomeScratch
 	// observability tallies, accumulated by the refinement loops and
 	// flushed once per PartitionFunc call when Options.Obs is set.
 	tRegions, tMoves, tEvals int64
+	tKWay, tRefine           int64
 	// homeInc is the refinement loops' incrementally-maintained home
 	// table. It is separate from home because realRegionCost and the
 	// from-scratch estimator clobber home, while a regionEval needs its
 	// table to stay coherent across an entire refinement loop.
 	homeInc sched.HomeScratch
 	est     estScratch
+	// dirtyEval switches the refinement loops' regionEval to dirty-block
+	// invalidation (see regionEval): exact like the signature cache, but
+	// without the per-candidate O(region ops) signature build. Only
+	// FuncPartitioner sets it; one-shot PartitionFunc keeps the signature
+	// path so the pre-existing engine's wall-clock profile is untouched.
+	dirtyEval bool
+	// curPre is the regionPre of the region currently being partitioned
+	// (set by partitionRegion); the dirty-mode regionEval reads its
+	// precomputed live-in and reg→block tables.
+	curPre *regionPre
+	// blockCost caches real-scheduler block lengths across candidates and
+	// lock signatures (sweep mode only). ScheduleBlockCtx's length depends
+	// only on the block, the assignments of its ops, and the homes of its
+	// live-in registers, so the key covers every input exactly.
+	blockCost map[string]int
+	keyBuf    []byte
+	// graph-build buffers, reused across partitionRegion calls.
+	edges     []regionEdge
+	anchors   []regionAnchor
+	anchorIdx map[int]int
+	deg       []int
+	// targeted home-computation buffers (sweep mode): homeT is a full
+	// NRegs-wide table with only the current region's live-in entries
+	// valid; cnt is the per-register cluster tally.
+	homeT []int
+	cnt   []int64
+}
+
+// regionEdge and regionAnchor are partitionRegion's graph-build records,
+// hoisted to package scope so scratch can reuse their backing arrays.
+type regionEdge struct {
+	u, v int
+	w    int64
+}
+
+type regionAnchor struct {
+	home int
 }
 
 // PartitionFunc assigns every op of f to a cluster. prof supplies block
@@ -146,7 +185,7 @@ func PartitionFunc(f *ir.Func, prof *interp.Profile, mcfg *machine.Config, locks
 		return regionHeat(prof, order[i]) > regionHeat(prof, order[j])
 	})
 	for _, region := range order {
-		if err := partitionRegion(sc, f, region, du, ops, lc, prof, mcfg, locks, opts, asg); err != nil {
+		if err := partitionRegion(sc, newRegionPre(f, region, du, ops, mcfg), f, du, ops, lc, prof, mcfg, locks, opts, asg); err != nil {
 			return nil, err
 		}
 	}
@@ -160,6 +199,8 @@ func PartitionFunc(f *ir.Func, prof *interp.Profile, mcfg *machine.Config, locks
 		opts.Obs.Counter("rhop_regions").Add(sc.tRegions)
 		opts.Obs.Counter("rhop_moves_accepted").Add(sc.tMoves)
 		opts.Obs.Counter("rhop_cost_evals").Add(sc.tEvals)
+		opts.Obs.Counter("rhop_kway_runs").Add(sc.tKWay)
+		opts.Obs.Counter("rhop_refine_runs").Add(sc.tRefine)
 	}
 	return asg, nil
 }
@@ -205,117 +246,339 @@ func blockFreq(prof *interp.Profile, b *ir.Block) int64 {
 	return 1
 }
 
-func partitionRegion(sc *scratch, f *ir.Func, region *cfg.Region, du *cfg.DefUse, ops []*ir.Op,
+// regionPre holds the per-region inputs of partitionRegion that depend only
+// on the function's structure — the op list, node index, and dependence
+// slack — not on locks or the evolving assignment. One-shot PartitionFunc
+// builds one per region and discards it (the same computation the code did
+// inline before the split); a FuncPartitioner builds them once and reuses
+// them across every lock signature of a sweep.
+type regionPre struct {
+	region    *cfg.Region
+	regionOps []*ir.Op
+	inRegion  map[int]bool
+	idx       map[int]int // op ID -> node
+	slack     map[edgeKey]int64
+	maxSlack  int64
+
+	// Lazy tables for the dirty-block regionEval (sweep mode only).
+	evalReady bool
+	liveIn    [][]ir.VReg         // per region block: read-before-def regs
+	regBlocks map[ir.VReg][]int32 // reg -> region blocks with reg in liveIn
+	opBlock   []int32             // by op ID: region block index, -1 outside
+
+	// Lazy min-cut memo (sweep mode only). The dependence graph handed to
+	// partition.KWay is fully determined by the region structure (fixed),
+	// the locks on the region's ops, and the assignments at the external
+	// def/use sites the edge builder consults — extRefs lists those sites
+	// in traversal order, and kway maps the (locks, external assignments)
+	// key to the resulting per-op partition. Distinct full-prefix states
+	// that agree on these inputs share one KWay run.
+	extReady bool
+	extRefs  []int
+	kway     map[string][]int
+
+	// Lazy real-cost memo (sweep mode only). realRegionCost's result is a
+	// function of the assignments of the region's ops and the home
+	// clusters of the blocks' live-in registers; a home cluster in turn
+	// depends only on the assignments of the register's defining ops.
+	// extHomeRefs lists the out-of-region definers of those live-ins, so
+	// (asg over region ops, asg over extHomeRefs) keys the result exactly.
+	homeReady   bool
+	extHomeRefs []int
+	// homeRegs/homeDefs drive the targeted home computation on regionCost
+	// misses: the sorted union of the blocks' live-in registers, and per
+	// register its defining ops with HomeClustersFreq's max(1, freq) block
+	// weights. Scoring a candidate only needs homes for these registers, so
+	// the scorer skips the full-function home pass.
+	homeRegs   []ir.VReg
+	homeDefs   [][]homeDef
+	regionCost map[string]int64
+	// refined memoizes refineRegion outcomes (the region layout it
+	// converges to) under the same key space as regionCost, plus a leading
+	// byte separating the pair-refined candidate from the plain one: the
+	// refinement loop's decisions read exactly the inputs regionCost's key
+	// covers.
+	refined map[string][]int
+}
+
+// homeDef is one defining op of a live-in register, with the frequency
+// weight HomeClustersFreq would give it.
+type homeDef struct {
+	id int32
+	w  int64
+}
+
+func newRegionPre(f *ir.Func, region *cfg.Region, du *cfg.DefUse, ops []*ir.Op, mcfg *machine.Config) *regionPre {
+	pre := &regionPre{region: region, inRegion: map[int]bool{}}
+	for _, b := range region.Blocks {
+		for _, op := range b.Ops {
+			pre.inRegion[op.ID] = true
+			pre.regionOps = append(pre.regionOps, op)
+		}
+	}
+	if len(pre.regionOps) == 0 {
+		return pre
+	}
+	pre.idx = make(map[int]int, len(pre.regionOps))
+	for i, op := range pre.regionOps {
+		pre.idx[op.ID] = i
+	}
+	pre.slack = computeSlack(region, du, ops, mcfg)
+	pre.maxSlack = 1
+	for _, s := range pre.slack {
+		if s > pre.maxSlack {
+			pre.maxSlack = s
+		}
+	}
+	return pre
+}
+
+// ensureEvalTables builds the dirty-block regionEval's lookup tables on
+// first use: per-block live-in registers, the reverse reg→blocks index, and
+// the op→block map.
+func (pre *regionPre) ensureEvalTables(f *ir.Func) {
+	if pre.evalReady {
+		return
+	}
+	pre.evalReady = true
+	n := len(pre.region.Blocks)
+	pre.liveIn = make([][]ir.VReg, n)
+	pre.regBlocks = map[ir.VReg][]int32{}
+	pre.opBlock = make([]int32, f.NOps)
+	for i := range pre.opBlock {
+		pre.opBlock[i] = -1
+	}
+	for i, b := range pre.region.Blocks {
+		pre.liveIn[i] = blockLiveIn(b)
+		for _, r := range pre.liveIn[i] {
+			pre.regBlocks[r] = append(pre.regBlocks[r], int32(i))
+		}
+		for _, op := range b.Ops {
+			pre.opBlock[op.ID] = int32(i)
+		}
+	}
+}
+
+// ensureExtRefs records, in the same order the edge builder visits them,
+// the IDs of ops outside the region whose assignments shape the dependence
+// graph: external defs feeding region args and external consumers of region
+// defs. Together with the locks on the region's own ops these are the only
+// per-call inputs to the min-cut — everything else in the graph is fixed
+// region structure.
+func (pre *regionPre) ensureExtRefs(du *cfg.DefUse) {
+	if pre.extReady {
+		return
+	}
+	pre.extReady = true
+	pre.kway = map[string][]int{}
+	for _, op := range pre.regionOps {
+		for argI := range op.Args {
+			for _, defID := range du.DefsOf[op.ID][argI] {
+				if !pre.inRegion[defID] {
+					pre.extRefs = append(pre.extRefs, defID)
+				}
+			}
+		}
+		if op.Dst != ir.NoReg {
+			for _, useID := range du.UsesOf[op.ID] {
+				if !pre.inRegion[useID] {
+					pre.extRefs = append(pre.extRefs, useID)
+				}
+			}
+		}
+	}
+}
+
+// ensureHomeRefs collects, in sorted order, the IDs of ops outside the
+// region that define any live-in register of the region's blocks — the only
+// out-of-region assignments the real-cost scorer's home computation can
+// observe.
+func (pre *regionPre) ensureHomeRefs(f *ir.Func, du *cfg.DefUse, ops []*ir.Op, prof *interp.Profile) {
+	if pre.homeReady {
+		return
+	}
+	pre.homeReady = true
+	pre.ensureEvalTables(f)
+	pre.regionCost = map[string]int64{}
+	pre.refined = map[string][]int{}
+	seen := map[int]bool{}
+	seenReg := map[ir.VReg]bool{}
+	for _, regs := range pre.liveIn {
+		for _, r := range regs {
+			if seenReg[r] {
+				continue
+			}
+			seenReg[r] = true
+			pre.homeRegs = append(pre.homeRegs, r)
+			for _, id := range du.DefsOfReg[r] {
+				if !pre.inRegion[id] && !seen[id] {
+					seen[id] = true
+					pre.extHomeRefs = append(pre.extHomeRefs, id)
+				}
+			}
+		}
+	}
+	sort.Ints(pre.extHomeRefs)
+	sort.Slice(pre.homeRegs, func(i, j int) bool { return pre.homeRegs[i] < pre.homeRegs[j] })
+	pre.homeDefs = make([][]homeDef, len(pre.homeRegs))
+	for i, r := range pre.homeRegs {
+		for _, id := range du.DefsOfReg[r] {
+			w := int64(1)
+			if fq := blockFreq(prof, ops[id].Block); fq > 1 {
+				w = fq
+			}
+			pre.homeDefs[i] = append(pre.homeDefs[i], homeDef{id: int32(id), w: w})
+		}
+	}
+}
+
+// kwayKey builds the min-cut memo key: one byte per region op for its lock
+// (0 when unlocked) and one byte per external reference for its current
+// assignment (0 when unassigned, so the corresponding anchor is absent).
+func kwayKey(sc *scratch, pre *regionPre, locks Locks, asg []int) string {
+	buf := sc.keyBuf[:0]
+	for _, op := range pre.regionOps {
+		b := byte(0)
+		if c, ok := locks[op.ID]; ok {
+			b = byte(c + 1)
+		}
+		buf = append(buf, b)
+	}
+	for _, id := range pre.extRefs {
+		buf = append(buf, byte(asg[id]+1))
+	}
+	sc.keyBuf = buf
+	return string(buf)
+}
+
+func partitionRegion(sc *scratch, pre *regionPre, f *ir.Func, du *cfg.DefUse, ops []*ir.Op,
 	lc *sched.LoopCtx, prof *interp.Profile, mcfg *machine.Config, locks Locks, opts Options, asg []int) error {
 
 	k := mcfg.NumClusters()
-	inRegion := map[int]bool{}
-	var regionOps []*ir.Op
-	for _, b := range region.Blocks {
-		for _, op := range b.Ops {
-			inRegion[op.ID] = true
-			regionOps = append(regionOps, op)
-		}
-	}
+	region := pre.region
+	regionOps := pre.regionOps
+	inRegion := pre.inRegion
 	if len(regionOps) == 0 {
 		return nil
 	}
 	sc.tRegions++
+	sc.curPre = pre
 
-	// Graph nodes: region ops, then one anchor per live-in value with a
-	// known home cluster.
-	idx := make(map[int]int, len(regionOps)) // op ID -> node
-	for i, op := range regionOps {
-		idx[op.ID] = i
+	// Sweep mode memoizes the min-cut by its true inputs; a hit skips the
+	// graph build and the KWay run entirely.
+	var part []int
+	var kwKey string
+	if sc.dirtyEval {
+		pre.ensureExtRefs(du)
+		pre.ensureHomeRefs(f, du, ops, prof)
+		kwKey = kwayKey(sc, pre, locks, asg)
+		part = pre.kway[kwKey]
 	}
-	type anchor struct {
-		home int
-	}
-	anchorIdx := map[int]int{} // defining op ID outside region -> node
-	var anchors []anchor
-
-	slack := computeSlack(region, du, ops, mcfg)
-	maxSlack := int64(1)
-	for _, s := range slack {
-		if s > maxSlack {
-			maxSlack = s
+	if part == nil {
+		// Graph nodes: region ops, then one anchor per live-in value with
+		// a known home cluster.
+		idx := pre.idx
+		if sc.anchorIdx == nil {
+			sc.anchorIdx = map[int]int{} // defining op ID outside region -> node
+		} else {
+			for k := range sc.anchorIdx {
+				delete(sc.anchorIdx, k)
+			}
 		}
-	}
+		anchorIdx := sc.anchorIdx
+		anchors := sc.anchors[:0]
 
-	type edge struct {
-		u, v int
-		w    int64
-	}
-	var edges []edge
-	addAnchor := func(key, home, node int, w int64) {
-		ai, ok := anchorIdx[key]
-		if !ok {
-			ai = len(regionOps) + len(anchors)
-			anchorIdx[key] = ai
-			anchors = append(anchors, anchor{home: home})
+		slack := pre.slack
+		maxSlack := pre.maxSlack
+
+		edges := sc.edges[:0]
+		addAnchor := func(key, home, node int, w int64) {
+			ai, ok := anchorIdx[key]
+			if !ok {
+				ai = len(regionOps) + len(anchors)
+				anchorIdx[key] = ai
+				anchors = append(anchors, regionAnchor{home: home})
+			}
+			edges = append(edges, regionEdge{u: ai, v: node, w: w})
 		}
-		edges = append(edges, edge{u: ai, v: node, w: w})
-	}
-	for _, op := range regionOps {
-		u := idx[op.ID]
-		freq := blockFreq(prof, op.Block)
-		for argI := range op.Args {
-			for _, defID := range du.DefsOf[op.ID][argI] {
-				w := int64(1)
-				if !opts.UniformEdges {
-					w = maxSlack + 1 - slack[edgeKey{defID, op.ID}]
-					if w < 1 {
-						w = 1
+		for _, op := range regionOps {
+			u := idx[op.ID]
+			freq := blockFreq(prof, op.Block)
+			for argI := range op.Args {
+				for _, defID := range du.DefsOf[op.ID][argI] {
+					w := int64(1)
+					if !opts.UniformEdges {
+						w = maxSlack + 1 - slack[edgeKey{defID, op.ID}]
+						if w < 1 {
+							w = 1
+						}
+					}
+					w *= scaleFreq(freq)
+					if inRegion[defID] {
+						edges = append(edges, regionEdge{u: idx[defID], v: u, w: w})
+						continue
+					}
+					// Live-in from an already-partitioned def: anchor it.
+					if home := asg[defID]; home >= 0 {
+						addAnchor(defID, home, u, w)
 					}
 				}
-				w *= scaleFreq(freq)
-				if inRegion[defID] {
-					edges = append(edges, edge{u: idx[defID], v: u, w: w})
-					continue
-				}
-				// Live-in from an already-partitioned def: anchor it.
-				if home := asg[defID]; home >= 0 {
-					addAnchor(defID, home, u, w)
+			}
+			// Live-out consumers already placed in other regions anchor
+			// this op's definition from the use side.
+			if op.Dst != ir.NoReg {
+				for _, useID := range du.UsesOf[op.ID] {
+					if inRegion[useID] {
+						continue
+					}
+					if home := asg[useID]; home >= 0 {
+						w := scaleFreq(blockFreq(prof, ops[useID].Block))
+						addAnchor(^useID, home, u, w)
+					}
 				}
 			}
 		}
-		// Live-out consumers already placed in other regions anchor this
-		// op's definition from the use side.
-		if op.Dst != ir.NoReg {
-			for _, useID := range du.UsesOf[op.ID] {
-				if inRegion[useID] {
-					continue
-				}
-				if home := asg[useID]; home >= 0 {
-					w := scaleFreq(blockFreq(prof, ops[useID].Block))
-					addAnchor(^useID, home, u, w)
-				}
+
+		sc.edges, sc.anchors = edges, anchors
+
+		g := partition.NewGraph(len(regionOps)+len(anchors), 1)
+		for i, op := range regionOps {
+			g.W[i][0] = scaleFreq(blockFreq(prof, op.Block))
+			if c, ok := locks[op.ID]; ok {
+				g.Fixed[i] = c
 			}
 		}
-	}
-
-	g := partition.NewGraph(len(regionOps)+len(anchors), 1)
-	for i, op := range regionOps {
-		g.W[i][0] = scaleFreq(blockFreq(prof, op.Block))
-		if c, ok := locks[op.ID]; ok {
-			g.Fixed[i] = c
+		for i, a := range anchors {
+			g.Fixed[len(regionOps)+i] = a.home
 		}
-	}
-	for i, a := range anchors {
-		g.Fixed[len(regionOps)+i] = a.home
-	}
-	for _, e := range edges {
-		g.Connect(e.u, e.v, e.w)
-	}
+		deg := sc.deg[:0]
+		for range g.Fixed {
+			deg = append(deg, 0)
+		}
+		for _, e := range edges {
+			deg[e.u]++
+			deg[e.v]++
+		}
+		sc.deg = deg
+		g.Reserve(deg)
+		for _, e := range edges {
+			g.Connect(e.u, e.v, e.w)
+		}
 
-	part, err := partition.KWay(g, k, partition.Options{
-		Tol:     []float64{opts.tol()},
-		Legacy:  opts.LegacyPartition,
-		Workers: opts.Workers,
-		Obs:     opts.Obs,
-	})
-	if err != nil {
-		return err
+		sc.tKWay++
+		p, err := partition.KWay(g, k, partition.Options{
+			Tol:     []float64{opts.tol()},
+			Legacy:  opts.LegacyPartition,
+			Workers: opts.Workers,
+			Obs:     opts.Obs,
+		})
+		if err != nil {
+			return err
+		}
+		part = p
+		if sc.dirtyEval {
+			pre.kway[kwKey] = append([]int(nil), part[:len(regionOps)]...)
+		}
 	}
 
 	// Candidate 1: the min-cut partition, refined by schedule estimates.
@@ -336,12 +599,52 @@ func partitionRegion(sc *scratch, f *ir.Func, region *cfg.Region, du *cfg.DefUse
 			bestCost = cost
 		}
 	}
+	runRefine := func(withPair bool) {
+		sc.tRefine++
+		refineRegion(sc, f, region, lc, prof, mcfg, locks, opts, asg)
+		if withPair && opts.PairRefine {
+			pairRefineRegion(sc, f, region, du, ops, lc, prof, mcfg, locks, opts, asg)
+		}
+	}
+	// Sweep mode memoizes the refined layout a starting candidate
+	// converges to: the refinement loop's move decisions depend only on
+	// the region layout it starts from, the locks, and the home clusters
+	// of the blocks' live-in registers (see regionPre.extHomeRefs).
+	refine := func(withPair bool) {
+		if !sc.dirtyEval || !pre.homeReady {
+			runRefine(withPair)
+			return
+		}
+		buf := sc.keyBuf[:0]
+		if withPair {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		for _, op := range regionOps {
+			buf = append(buf, byte(asg[op.ID]+1))
+		}
+		for _, id := range pre.extHomeRefs {
+			buf = append(buf, byte(asg[id]+1))
+		}
+		sc.keyBuf = buf
+		if lay, ok := pre.refined[string(buf)]; ok {
+			for i, op := range regionOps {
+				asg[op.ID] = lay[i]
+			}
+			return
+		}
+		key := string(buf)
+		runRefine(withPair)
+		lay := make([]int, len(regionOps))
+		for i, op := range regionOps {
+			lay[i] = asg[op.ID]
+		}
+		pre.refined[key] = lay
+	}
 	apply(func(i int, op *ir.Op) int { return part[i] })
 	consider()
-	refineRegion(sc, f, region, lc, prof, mcfg, locks, opts, asg)
-	if opts.PairRefine {
-		pairRefineRegion(sc, f, region, du, ops, lc, prof, mcfg, locks, opts, asg)
-	}
+	refine(true)
 	consider()
 
 	// Candidates 2..k+1: everything (unlocked) on a single cluster, then
@@ -362,7 +665,7 @@ func partitionRegion(sc *scratch, f *ir.Func, region *cfg.Region, du *cfg.DefUse
 		}
 		apply(func(int, *ir.Op) int { return c })
 		consider() // the pure single-cluster layout, before refinement
-		refineRegion(sc, f, region, lc, prof, mcfg, locks, opts, asg)
+		refine(false)
 		consider()
 	}
 	for _, op := range regionOps {
@@ -378,13 +681,95 @@ func partitionRegion(sc *scratch, f *ir.Func, region *cfg.Region, du *cfg.DefUse
 func realRegionCost(sc *scratch, f *ir.Func, region *cfg.Region, lc *sched.LoopCtx, prof *interp.Profile,
 	mcfg *machine.Config, asg []int) int64 {
 
-	home := sc.home.HomeClustersFreq(f, asg, mcfg.NumClusters(), func(b *ir.Block) int64 {
-		return blockFreq(prof, b)
-	})
+	// Sweep mode memoizes the whole score by its exact inputs (see
+	// regionPre.extHomeRefs), and below that caches individual block
+	// lengths, so candidates and lock signatures that agree on either
+	// level share scheduler runs.
+	pre := sc.curPre
+	cached := sc.dirtyEval && pre != nil && pre.region == region && pre.homeReady
+	var costKey string
+	if cached {
+		buf := sc.keyBuf[:0]
+		for _, op := range pre.regionOps {
+			buf = append(buf, byte(asg[op.ID]+1))
+		}
+		for _, id := range pre.extHomeRefs {
+			buf = append(buf, byte(asg[id]+1))
+		}
+		sc.keyBuf = buf
+		if v, ok := pre.regionCost[string(buf)]; ok {
+			return v
+		}
+		costKey = string(buf)
+		if sc.blockCost == nil {
+			sc.blockCost = map[string]int{}
+		}
+	}
+	var home []int
+	if cached {
+		// Only the blocks' live-in registers' homes are read below; fill
+		// exactly those from the precomputed def lists (identical weights
+		// and tie-breaks to HomeClustersFreq) and leave the rest stale.
+		k := mcfg.NumClusters()
+		if cap(sc.homeT) < f.NRegs {
+			sc.homeT = make([]int, f.NRegs)
+		}
+		if cap(sc.cnt) < k {
+			sc.cnt = make([]int64, k)
+		}
+		home = sc.homeT[:f.NRegs]
+		cnt := sc.cnt[:k]
+		for ui, r := range pre.homeRegs {
+			for c := range cnt {
+				cnt[c] = 0
+			}
+			for _, d := range pre.homeDefs[ui] {
+				if c := asg[d.id]; c >= 0 {
+					cnt[c] += d.w
+				}
+			}
+			h := sched.EverywhereHome
+			var best int64
+			for c, v := range cnt {
+				if v > best {
+					best = v
+					h = c
+				}
+			}
+			home[r] = h
+		}
+	} else {
+		home = sc.home.HomeClustersFreq(f, asg, mcfg.NumClusters(), func(b *ir.Block) int64 {
+			return blockFreq(prof, b)
+		})
+	}
 	var total int64
-	for _, b := range region.Blocks {
-		res, _ := sc.sched.ScheduleBlockCtx(b, asg, home, lc, mcfg)
-		total += blockFreq(prof, b) * int64(res.Length)
+	for bi, b := range region.Blocks {
+		var length int
+		if cached {
+			buf := append(sc.keyBuf[:0], byte(b.ID>>8), byte(b.ID))
+			for _, op := range b.Ops {
+				buf = append(buf, byte(asg[op.ID]+1))
+			}
+			for _, r := range pre.liveIn[bi] {
+				buf = append(buf, byte(home[r]+2))
+			}
+			sc.keyBuf = buf
+			if l, ok := sc.blockCost[string(buf)]; ok {
+				length = l
+			} else {
+				res, _ := sc.sched.ScheduleBlockCtx(b, asg, home, lc, mcfg)
+				length = res.Length
+				sc.blockCost[string(buf)] = length
+			}
+		} else {
+			res, _ := sc.sched.ScheduleBlockCtx(b, asg, home, lc, mcfg)
+			length = res.Length
+		}
+		total += blockFreq(prof, b) * int64(length)
+	}
+	if cached {
+		pre.regionCost[costKey] = total
 	}
 	return total
 }
@@ -493,6 +878,16 @@ func computeSlack(region *cfg.Region, du *cfg.DefUse, ops []*ir.Op, mcfg *machin
 // In full mode (Options.NoIncremental) move is a plain assignment write
 // and cost recomputes the whole region estimate, reproducing the
 // pre-cache behavior verbatim.
+//
+// In dirty mode (scratch.dirtyEval, sweep-only) the signature build is
+// replaced by explicit invalidation: move marks the moved op's own block
+// dirty, and — when the move changes a value's home cluster — every block
+// that reads the value live-in (via regionPre's reg→blocks index). A dirty
+// block is re-estimated on the next cost call; clean blocks keep their
+// cached length. The dirtied set is a superset of the blocks whose
+// signature would have changed, so dirty and signature mode return
+// identical costs; dirty mode just skips building the signature for the
+// (many) clean blocks of every candidate evaluation.
 type regionEval struct {
 	full   bool
 	sc     *scratch
@@ -512,6 +907,16 @@ type regionEval struct {
 	valid  []bool      // per block: sig/val populated
 	val    []int64     // per block: cached blockLen
 	buf    []int32     // signature build buffer
+
+	// dirty-mode state: dirtyList holds the indices set in dirty, and
+	// total carries the region cost forward so cost() only touches the
+	// blocks invalidated since the last call instead of rescanning all of
+	// them.
+	dirtyMode bool
+	dirty     []bool
+	dirtyList []int32
+	total     int64
+	pre       *regionPre
 }
 
 func newRegionEval(sc *scratch, f *ir.Func, region *cfg.Region, lc *sched.LoopCtx,
@@ -531,10 +936,24 @@ func newRegionEval(sc *scratch, f *ir.Func, region *cfg.Region, lc *sched.LoopCt
 	n := len(region.Blocks)
 	re.blocks = region.Blocks
 	re.freqs = make([]int64, n)
+	re.val = make([]int64, n)
+	if sc.dirtyEval && sc.curPre != nil && sc.curPre.region == region {
+		re.dirtyMode = true
+		re.pre = sc.curPre
+		re.pre.ensureEvalTables(f)
+		re.liveIn = re.pre.liveIn
+		re.dirty = make([]bool, n)
+		re.dirtyList = make([]int32, n)
+		for i, b := range region.Blocks {
+			re.freqs[i] = blockFreq(prof, b)
+			re.dirty[i] = true
+			re.dirtyList[i] = int32(i)
+		}
+		return re
+	}
 	re.liveIn = make([][]ir.VReg, n)
 	re.sig = make([][]int32, n)
 	re.valid = make([]bool, n)
-	re.val = make([]int64, n)
 	for i, b := range region.Blocks {
 		re.freqs[i] = blockFreq(prof, b)
 		re.liveIn[i] = blockLiveIn(b)
@@ -570,7 +989,25 @@ func (re *regionEval) move(op *ir.Op, to int) {
 		return
 	}
 	re.asg[op.ID] = to
-	if !re.full && op.Dst != ir.NoReg {
+	if re.full {
+		return
+	}
+	if re.dirtyMode {
+		if bi := re.pre.opBlock[op.ID]; bi >= 0 {
+			re.markDirty(bi)
+		}
+		if op.Dst != ir.NoReg {
+			old := re.home[op.Dst]
+			re.sc.homeInc.MoveDef(op.Dst, re.k, from, to, blockFreq(re.prof, op.Block))
+			if re.home[op.Dst] != old {
+				for _, bi := range re.pre.regBlocks[op.Dst] {
+					re.markDirty(bi)
+				}
+			}
+		}
+		return
+	}
+	if op.Dst != ir.NoReg {
 		re.sc.homeInc.MoveDef(op.Dst, re.k, from, to, blockFreq(re.prof, op.Block))
 	}
 }
@@ -580,6 +1017,16 @@ func (re *regionEval) move(op *ir.Op, to int) {
 func (re *regionEval) cost() int64 {
 	if re.full {
 		return estimateRegionCostScratch(re.sc, re.f, re.region, re.lc, re.prof, re.mcfg, re.asg)
+	}
+	if re.dirtyMode {
+		for _, i := range re.dirtyList {
+			v := re.sc.est.blockLen(re.blocks[i], re.asg, re.home, re.lc, re.mcfg)
+			re.total += re.freqs[i] * (v - re.val[i])
+			re.val[i] = v
+			re.dirty[i] = false
+		}
+		re.dirtyList = re.dirtyList[:0]
+		return re.total
 	}
 	var total int64
 	for i, b := range re.blocks {
@@ -599,6 +1046,13 @@ func (re *regionEval) cost() int64 {
 		total += re.freqs[i] * re.val[i]
 	}
 	return total
+}
+
+func (re *regionEval) markDirty(bi int32) {
+	if !re.dirty[bi] {
+		re.dirty[bi] = true
+		re.dirtyList = append(re.dirtyList, bi)
+	}
 }
 
 func sigEqual(a, b []int32) bool {

@@ -723,6 +723,21 @@ func ProgramCycles(m *ir.Module, asg map[*ir.Func][]int, cfg *machine.Config, pr
 	return cycles, moves
 }
 
+// Cost is one function's contribution to the program-level objective: the
+// profile-weighted dynamic cycle and move counts FuncCycles returns, as a
+// value the mapping sweep can store per (function, lock signature) and
+// delta-accumulate.
+type Cost struct {
+	Cycles int64
+	Moves  int64
+}
+
+// FuncCost is FuncCycles packaged as a Cost value.
+func (sc *Scratch) FuncCost(f *ir.Func, asg []int, cfg *machine.Config, prof *interp.Profile) Cost {
+	c, m := sc.FuncCycles(f, asg, cfg, prof)
+	return Cost{Cycles: c, Moves: m}
+}
+
 // FuncCycles computes one function's contribution to ProgramCycles: the
 // profile-weighted dynamic cycle and move counts of f under assignment asg,
 // including hoisted loop-entry copies. ProgramCycles is exactly the sum of
@@ -730,7 +745,15 @@ func ProgramCycles(m *ir.Module, asg map[*ir.Func][]int, cfg *machine.Config, pr
 // evaluation layer cache schedule costs per (function, assignment) pair
 // (see internal/memo).
 func (sc *Scratch) FuncCycles(f *ir.Func, asg []int, cfg *machine.Config, prof *interp.Profile) (cycles, moves int64) {
-	res := sc.ScheduleFuncFreq(f, asg, NewLoopCtx(f), cfg, prof.Freq)
+	return sc.FuncCyclesCtx(f, asg, NewLoopCtx(f), cfg, prof)
+}
+
+// FuncCyclesCtx is FuncCycles with a caller-supplied loop context. The
+// context depends only on the IR, so callers evaluating many assignments of
+// the same function (the mapping sweep's per-signature loop) hoist the loop
+// analysis out and get identical results.
+func (sc *Scratch) FuncCyclesCtx(f *ir.Func, asg []int, lc *LoopCtx, cfg *machine.Config, prof *interp.Profile) (cycles, moves int64) {
+	res := sc.ScheduleFuncFreq(f, asg, lc, cfg, prof.Freq)
 	var busBusy, hoistedMoves int64
 	for _, b := range f.Blocks {
 		freq := prof.Freq(b)
@@ -743,6 +766,108 @@ func (sc *Scratch) FuncCycles(f *ir.Func, asg []int, cfg *machine.Config, prof *
 	}
 	for _, h := range res.Hoisted {
 		entries := res.LC.EntryFreq(h.Loop, prof.Freq)
+		moves += entries
+		cycles += entries
+		hoistedMoves += entries
+	}
+	if sc.oCycles != nil {
+		sc.oCycles.Add(cycles)
+		sc.oMoves.Add(moves)
+		sc.oBusBusy.Add(busBusy)
+		sc.oHoisted.Add(hoistedMoves)
+	}
+	return cycles, moves
+}
+
+// BlockCache memoizes ScheduleBlockCtx outcomes for one function across
+// assignments. A block's schedule reads only the assignments of its own ops
+// and the homes of its read-before-def (live-in) registers — buildNodes
+// consults nothing else — so those inputs key the result exactly. Sweeps
+// evaluating many lock signatures of one function hit the cache whenever a
+// signature change leaves a block's local inputs untouched, which is the
+// common case: a flipped data object relocks a few memory ops and leaves
+// the rest of the function byte-identical.
+//
+// A BlockCache is bound to one (function, loop context, machine config)
+// triple and is not safe for concurrent use.
+type BlockCache struct {
+	liveIn [][]ir.VReg // by block ID: read-before-def registers
+	m      map[string]blockCacheEnt
+	buf    []byte
+}
+
+type blockCacheEnt struct {
+	br      BlockResult
+	hoisted []HoistedMove
+}
+
+// NewBlockCache prepares a cache for f's blocks.
+func NewBlockCache(f *ir.Func) *BlockCache {
+	bc := &BlockCache{
+		liveIn: make([][]ir.VReg, len(f.Blocks)),
+		m:      map[string]blockCacheEnt{},
+	}
+	for _, b := range f.Blocks {
+		defined := map[ir.VReg]bool{}
+		seen := map[ir.VReg]bool{}
+		var in []ir.VReg
+		for _, op := range b.Ops {
+			for _, a := range op.Args {
+				if a.IsReg() && !defined[a.Reg] && !seen[a.Reg] {
+					seen[a.Reg] = true
+					in = append(in, a.Reg)
+				}
+			}
+			if op.Dst != ir.NoReg {
+				defined[op.Dst] = true
+			}
+		}
+		bc.liveIn[b.ID] = in
+	}
+	return bc
+}
+
+// FuncCyclesCached is FuncCyclesCtx with per-block memoization through bc.
+// Results (and the observer fold) are identical to FuncCyclesCtx; only
+// repeated ScheduleBlockCtx work is skipped.
+func (sc *Scratch) FuncCyclesCached(f *ir.Func, asg []int, lc *LoopCtx, cfg *machine.Config,
+	prof *interp.Profile, bc *BlockCache) (cycles, moves int64) {
+
+	home := sc.home.HomeClustersFreq(f, asg, cfg.NumClusters(), prof.Freq)
+	var busBusy, hoistedMoves int64
+	seen := map[HoistedMove]bool{}
+	var allHoisted []HoistedMove
+	for _, b := range f.Blocks {
+		buf := append(bc.buf[:0], byte(b.ID>>8), byte(b.ID))
+		for _, op := range b.Ops {
+			buf = append(buf, byte(asg[op.ID]+1))
+		}
+		for _, r := range bc.liveIn[b.ID] {
+			buf = append(buf, byte(home[r]+2))
+		}
+		bc.buf = buf
+		ent, ok := bc.m[string(buf)]
+		if !ok {
+			br, hoisted := sc.ScheduleBlockCtx(b, asg, home, lc, cfg)
+			ent = blockCacheEnt{br: br, hoisted: append([]HoistedMove(nil), hoisted...)}
+			bc.m[string(buf)] = ent
+		}
+		freq := prof.Freq(b)
+		if freq > 0 {
+			cycles += freq * int64(ent.br.Length)
+			moves += freq * int64(ent.br.Moves)
+			busBusy += freq * int64(ent.br.BusBusy)
+		}
+		for _, h := range ent.hoisted {
+			if !seen[h] {
+				seen[h] = true
+				allHoisted = append(allHoisted, h)
+			}
+		}
+	}
+	SortHoisted(allHoisted)
+	for _, h := range allHoisted {
+		entries := lc.EntryFreq(h.Loop, prof.Freq)
 		moves += entries
 		cycles += entries
 		hoistedMoves += entries

@@ -395,6 +395,24 @@ func ExhaustiveSearchCtx(ctx context.Context, p *Program, m *Machine, opts Optio
 	return eval.ExhaustiveCtx(ctx, p.c, m, opts, maxObjects)
 }
 
+// BestMappingResult is the branch-and-bound search outcome re-exported
+// from the eval package.
+type BestMappingResult = eval.BestResult
+
+// BestMapping finds the optimal data-object mapping on a 2-cluster machine
+// by branch and bound over object-assignment prefixes, without enumerating
+// all 2^n points. It returns the same optimum an exhaustive sweep would
+// find, on programs too large to sweep (maxObjects 0 means 24).
+func BestMapping(p *Program, m *Machine, opts Options, maxObjects int) (*BestMappingResult, error) {
+	return BestMappingCtx(context.Background(), p, m, opts, maxObjects)
+}
+
+// BestMappingCtx is BestMapping under a context.
+func BestMappingCtx(ctx context.Context, p *Program, m *Machine, opts Options, maxObjects int) (r *BestMappingResult, err error) {
+	defer contain(&err)
+	return eval.BestMappingCtx(ctx, p.c, m, opts, maxObjects)
+}
+
 // RelativePerf returns scheme performance relative to the unified-memory
 // bound (1.0 = matches unified; the paper's Figures 7/8 metric).
 func RelativePerf(unified, scheme *Result) float64 {
