@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check cover fuzz bench bench-quick bench-partition bench-interp bench-store bench-sweep eval fmt vet clean
+.PHONY: all build test test-short race check cover fuzz bench bench-quick bench-partition bench-interp bench-store bench-sweep bench-serve serve-smoke eval fmt vet clean
 
 all: build test
 
@@ -116,6 +116,33 @@ bench-sweep:
 	$(GO) test -run XXX \
 		-bench 'BenchmarkExhaustiveSweep|BenchmarkBestMapping' \
 		-benchtime 20x . | tee bench_sweep_output.txt
+
+# gdpd load harness: the daemon self-hosted on a loopback port with fault
+# injection enabled, driven with mixed traffic (all four endpoints, all
+# schemes, injected faults and hopeless deadlines) at several concurrency
+# levels. Every 200 is verified byte-for-byte against a serial oracle —
+# a single mismatch or untyped failure fails the target. The report
+# (latency percentiles + shed/degrade counts) is refreshed into
+# BENCH_serve.json (see that file for the recorded analysis).
+# Workers pace at 20 ms think time, so offered load is ~50 req/s per
+# concurrency level regardless of machine speed; the admission envelope
+# (-maxconcurrent 2 -queue 4, token bucket 250/s burst 20) then admits
+# levels 1 and 4 cleanly and sheds part of level 16 — via the token
+# bucket everywhere, plus queue pressure on multicore runners. Shed
+# requests must be typed 429/503s, never lost or wrong.
+bench-serve:
+	$(GO) run ./cmd/gdpd -loadtest -levels 1,4,16 -requests 96 \
+		-seed 1 -faultpct 25 -pacing 20ms -maxconcurrent 2 -queue 4 \
+		-rate 250 -burst 20 \
+		-o BENCH_serve.json | tee bench_serve_output.txt
+
+# Boot-and-drain smoke test over a real socket: start gdpd with fault
+# injection, wait for /healthz, exercise a clean request, a degraded
+# request, and a typed injected failure, then SIGTERM and require a clean
+# drain (exit 0). Complements the in-process tests with a real process
+# lifecycle.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Prints the paper's tables and figures as formatted text.
 eval:

@@ -52,3 +52,11 @@ func Float(v, d float64) float64 {
 	}
 	return v
 }
+
+// Duration returns v, or d when v is non-positive.
+func Duration[T ~int64](v, d T) T {
+	if v <= 0 {
+		return d
+	}
+	return v
+}

@@ -91,6 +91,17 @@ func (c *Compiled) EnableMemo() {
 // deterministic across worker counts; cached values always are.
 func (c *Compiled) MemoStats() memo.Stats { return c.memo.Stats() }
 
+// ShrinkMemo evicts least-recently-used memoization entries until at most n
+// remain (a no-op when caching is disabled). It is the memory-pressure
+// release valve for long-lived Compiled values: results are unaffected —
+// evicted entries recompute (or reload from the disk tier) on next use.
+func (c *Compiled) ShrinkMemo(n int) { c.memo.Shrink(n) }
+
+// SetMemoCapacity rebounds the memoization cache (non-positive selects the
+// default capacity), evicting immediately if the cache is over the new
+// bound.
+func (c *Compiled) SetMemoCapacity(n int) { c.memo.SetCapacity(n) }
+
 // DefaultUnroll is the loop unrolling factor Prepare applies, matching the
 // aggressive unrolling of the paper's VLIW toolchain (it creates the
 // cross-iteration ILP that makes a clustered machine worth filling).
@@ -139,7 +150,7 @@ func PrepareFullCtx(ctx context.Context, name, src string, unroll int, optimize 
 // interpreter; both produce identical checksums and Profiles, and both
 // charge the same step/byte/deadline budgets.
 func PrepareFullOpts(ctx context.Context, name, src string, unroll int, optimize bool, opts Options) (*Compiled, error) {
-	iopts := interp.Options{MaxSteps: opts.maxSteps()}
+	iopts := interp.Options{MaxSteps: opts.maxSteps(), MaxBytes: opts.MaxBytes}
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("eval: %s: %w", name, err)
@@ -170,7 +181,10 @@ func PrepareFullOpts(ctx context.Context, name, src string, unroll int, optimize
 	// are the ones this run would produce). See store.go.
 	var pstore *store.Store
 	var pprefix string
-	if opts.CacheDir != "" {
+	// A byte budget disables the cached-profile shortcut: stored profiles
+	// record steps but not peak heap, so serving one could mask the byte
+	// BudgetError a cold run would raise (determinism across cache states).
+	if opts.CacheDir != "" && opts.MaxBytes <= 0 {
 		if st, serr := store.OpenShared(opts.CacheDir, store.Options{MaxBytes: opts.CacheMaxBytes}); serr == nil {
 			st.SetObserver(po)
 			pstore, pprefix = st, keyPrefix(ModuleHash(mod))
@@ -282,6 +296,11 @@ type Options struct {
 	// non-positive means the default of 10 million steps). Programs that
 	// exceed it fail Prepare with a typed *interp.BudgetError.
 	MaxSteps int64
+	// MaxBytes bounds the heap the profiling run may allocate (global
+	// storage plus every malloc); exceeding it fails Prepare with a typed
+	// *interp.BudgetError. Non-positive means no byte budget. A per-request
+	// byte budget is the daemon's containment against allocation bombs.
+	MaxBytes int64
 	// LegacyInterp routes Prepare's profiling run through the tree-walking
 	// interpreter instead of the bytecode VM (ablation and differential
 	// debugging; see -legacyinterp). Checksum and Profile are identical

@@ -79,3 +79,29 @@ func TestPrepareMaxStepsHonored(t *testing.T) {
 		}
 	}
 }
+
+// TestPrepareMaxBytesHonored pins that Options.MaxBytes reaches the
+// profiler on both engines: a heap cap below the benchmark's footprint must
+// fail Prepare with a typed byte-budget error, and a generous cap must not
+// change the result.
+func TestPrepareMaxBytesHonored(t *testing.T) {
+	bm, err := bench.Get("fir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, legacy := range []bool{false, true} {
+		_, err := PrepareOpts(context.Background(), bm.Name, bm.Source,
+			Options{MaxBytes: 8, LegacyInterp: legacy})
+		var be *interp.BudgetError
+		if !errors.As(err, &be) || be.Resource != "byte" {
+			t.Errorf("legacy=%v: want byte BudgetError, got %v", legacy, err)
+		}
+	}
+	c, err := PrepareOpts(context.Background(), bm.Name, bm.Source, Options{MaxBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ret != bm.Want {
+		t.Fatalf("checksum under generous byte budget %d, want %d", c.Ret, bm.Want)
+	}
+}

@@ -54,6 +54,18 @@ func RunSchemeCtx(ctx context.Context, c *Compiled, cfg *machine.Config, s Schem
 	return RunScheme(c, cfg, s, opts)
 }
 
+// RunSchemeFallbackCtx is RunSchemeCtx with the matrix runners' graceful
+// degradation applied to the single cell: under Options.Fallback a failing
+// or invalid scheme degrades along the GDP→ProfileMax→Naive chain with the
+// substitution recorded in Result.Degraded, and panics inside the pipeline
+// surface as *parallel.PanicError instead of crashing. This is the entry
+// point for request-at-a-time callers (the gdpd daemon) that want matrix
+// semantics without a matrix.
+func RunSchemeFallbackCtx(ctx context.Context, c *Compiled, cfg *machine.Config, s Scheme, opts Options) (*Result, error) {
+	opts.ctx = obs.With(ctx, opts.Observer)
+	return runCell(c, cfg, s, opts)
+}
+
 // CellError attributes a matrix or exhaustive-search failure to the exact
 // work cell — (benchmark, scheme) and, for the Figure 9 sweep, the data
 // mapping mask — so a failure deep in a parallel fan-out stays debuggable.

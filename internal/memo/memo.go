@@ -151,6 +151,64 @@ func (c *Cache) SetTier(t Tier) {
 	c.mu.Unlock()
 }
 
+// Capacity returns the cache's current completed-entry bound. A nil cache
+// reports zero.
+func (c *Cache) Capacity() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cap
+}
+
+// SetCapacity re-bounds the cache to capacity completed entries (the usual
+// non-positive → DefaultCapacity sentinel) and evicts least-recently-used
+// entries down to the new bound immediately. Forced evictions count in
+// Stats.Evictions and the memo_evictions observer mirror exactly like
+// insert-time evictions. This is the daemon's memory-pressure knob: a
+// smaller capacity changes hit counts and wall time, never values.
+func (c *Cache) SetCapacity(capacity int) {
+	if c == nil {
+		return
+	}
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	c.mu.Lock()
+	c.cap = capacity
+	c.evictTo(capacity)
+	c.mu.Unlock()
+}
+
+// Shrink evicts least-recently-used completed entries until at most n
+// remain, leaving the capacity bound unchanged (the cache may grow back).
+// Negative n is treated as 0 (drop everything). In-flight computations are
+// untouched: Shrink never blocks a compute, and a flight that completes
+// after a Shrink simply inserts as the most-recent entry.
+func (c *Cache) Shrink(n int) {
+	if c == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	c.mu.Lock()
+	c.evictTo(n)
+	c.mu.Unlock()
+}
+
+// evictTo drops LRU-tail entries until at most n remain. Caller holds c.mu.
+func (c *Cache) evictTo(n int) {
+	for c.ll.Len() > n {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).key)
+		c.evictions++
+		c.oEvict.Add(1)
+	}
+}
+
 // Do returns the cached value for key, computing and storing it with
 // compute on a miss. hit reports whether the value came from the cache
 // (including waiting on another goroutine's in-flight computation of the
@@ -280,13 +338,7 @@ func (c *Cache) insert(key string, value any) {
 		return
 	}
 	c.entries[key] = c.ll.PushFront(&entry{key: key, value: value})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*entry).key)
-		c.evictions++
-		c.oEvict.Add(1)
-	}
+	c.evictTo(c.cap)
 }
 
 // Stats is a point-in-time snapshot of the cache counters. With more than

@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is a classic token bucket: capacity `burst` tokens, refilled at
+// `rate` per second, one token per admitted request. It is the daemon's
+// first shed line — over-rate traffic costs one mutex acquisition and a
+// 429, nothing more. The clock is injected so tests drive it
+// deterministically.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 disables limiting
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newBucket(rate float64, burst int, now func() time.Time) *bucket {
+	if burst <= 0 {
+		burst = int(rate)
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &bucket{
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		now:    now,
+		last:   now(),
+	}
+}
+
+// allow takes one token, reporting false when the bucket is dry.
+func (b *bucket) allow() bool {
+	if b.rate <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.now()
+	b.tokens += t.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = t
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,115 @@
+// handlers.go holds the four /v1 endpoint operations. Each runs inside
+// api()'s admission/containment wrapper and turns a decoded request into
+// the endpoint's deterministic result payload.
+package serve
+
+import (
+	"context"
+
+	"mcpart"
+)
+
+// doCompile serves POST /v1/compile: front end + analysis + profiling,
+// cached in the session.
+func (s *Server) doCompile(ctx context.Context, req *APIRequest, mreq mcpart.Request) (any, *DegradedInfo, error) {
+	name, src, err := req.resolveSource()
+	if err != nil {
+		return nil, nil, &RequestError{Err: err}
+	}
+	if err := s.injectServe("compile", req.Inject); err != nil {
+		return nil, nil, err
+	}
+	p, err := s.session.Compile(ctx, name, src, mreq)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &CompileResult{
+		Name:      p.Name(),
+		Checksum:  p.Checksum(),
+		Functions: len(p.Module().Funcs),
+		Objects:   len(p.Module().Objects),
+	}, nil, nil
+}
+
+// doPartition serves POST /v1/partition: one Table 1 scheme on one
+// machine, with optional validation and graceful degradation.
+func (s *Server) doPartition(ctx context.Context, req *APIRequest, mreq mcpart.Request) (any, *DegradedInfo, error) {
+	name, src, err := req.resolveSource()
+	if err != nil {
+		return nil, nil, &RequestError{Err: err}
+	}
+	m, err := req.machine()
+	if err != nil {
+		return nil, nil, &RequestError{Err: err}
+	}
+	scheme, err := req.scheme()
+	if err != nil {
+		return nil, nil, &RequestError{Err: err}
+	}
+	if err := s.injectServe("compile", req.Inject); err != nil {
+		return nil, nil, err
+	}
+	r, err := s.session.Evaluate(ctx, name, src, m, scheme, mreq)
+	if err != nil {
+		return nil, nil, err
+	}
+	var deg *DegradedInfo
+	if r.Degraded != nil {
+		deg = &DegradedInfo{From: string(r.Degraded.From), Error: r.Degraded.Err.Error()}
+	}
+	return &PartitionResult{
+		Scheme:    string(r.Scheme),
+		Cycles:    r.Cycles,
+		Moves:     r.Moves,
+		DataMap:   dataMapSlice(r.DataMap),
+		Validated: req.Validate,
+	}, deg, nil
+}
+
+// doSweep serves POST /v1/sweep: the Figure 9 exhaustive data-mapping
+// enumeration, summarized (the point cloud is O(2^objects); the response
+// carries its deterministic extremes and scheme marks).
+func (s *Server) doSweep(ctx context.Context, req *APIRequest, mreq mcpart.Request) (any, *DegradedInfo, error) {
+	name, src, err := req.resolveSource()
+	if err != nil {
+		return nil, nil, &RequestError{Err: err}
+	}
+	m, err := req.machine()
+	if err != nil {
+		return nil, nil, &RequestError{Err: err}
+	}
+	if err := s.injectServe("compile", req.Inject); err != nil {
+		return nil, nil, err
+	}
+	er, err := s.session.Sweep(ctx, name, src, m, req.MaxObjects, mreq)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &SweepResult{
+		Points:   len(er.Points),
+		Best:     er.Best,
+		Worst:    er.Worst,
+		GDPMask:  er.GDPMask,
+		PMaxMask: er.PMaxMask,
+	}, nil, nil
+}
+
+// doBest serves POST /v1/best: the branch-and-bound optimal data mapping.
+func (s *Server) doBest(ctx context.Context, req *APIRequest, mreq mcpart.Request) (any, *DegradedInfo, error) {
+	name, src, err := req.resolveSource()
+	if err != nil {
+		return nil, nil, &RequestError{Err: err}
+	}
+	m, err := req.machine()
+	if err != nil {
+		return nil, nil, &RequestError{Err: err}
+	}
+	if err := s.injectServe("compile", req.Inject); err != nil {
+		return nil, nil, err
+	}
+	br, err := s.session.Best(ctx, name, src, m, req.MaxObjects, mreq)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &BestResult{Mask: br.Mask, Cycles: br.Cycles, Moves: br.Moves}, nil, nil
+}

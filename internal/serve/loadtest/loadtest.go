@@ -1,0 +1,347 @@
+// Package loadtest drives gdpd with mixed concurrent traffic and verifies
+// the daemon's core robustness claim: under concurrency, injected faults,
+// shed load, and tight per-request deadlines, no request ever receives a
+// wrong successful result. Every 200 is compared byte-for-byte against a
+// serial oracle pass over the same request population (the deterministic
+// `result` object only — telemetry is explicitly nondeterministic), every
+// non-200 must carry a typed error code, and the report records latency
+// percentiles plus shed/degrade counts per concurrency level.
+package loadtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcpart/internal/serve"
+)
+
+// Options configures a run.
+type Options struct {
+	// URL is the daemon's base URL (required). The server must run with
+	// fault injection enabled (serve.Config.AllowInject) or every injected
+	// case fails as bad_request.
+	URL string
+	// Levels are the concurrency levels to sweep (non-empty required; e.g.
+	// 1, 4, 16).
+	Levels []int
+	// Requests is the total request count per level (default 96).
+	Requests int
+	// Seed makes the request mix reproducible.
+	Seed int64
+	// FaultPct is the percentage of requests carrying an injected fault or
+	// a deliberately hopeless deadline (default 25).
+	FaultPct int
+	// Pacing is each worker's think time between requests (0: none). With
+	// pacing, offered load is ~level/Pacing requests per second regardless
+	// of machine speed, which makes admission-control behavior comparable
+	// across runners.
+	Pacing time.Duration
+	// Client overrides the HTTP client (default: http.DefaultClient with a
+	// 2-minute timeout guard).
+	Client *http.Client
+}
+
+// LevelReport summarizes one concurrency level.
+type LevelReport struct {
+	Concurrency int `json:"concurrency"`
+	Requests    int `json:"requests"`
+	// OK counts clean 200s, Degraded the 200s that carried a degradation
+	// marker (both verified byte-for-byte against the oracle).
+	OK       int `json:"ok"`
+	Degraded int `json:"degraded"`
+	// Shed counts typed admission refusals (429 rate_limited, 503
+	// overloaded/draining) — the daemon saying "no" crisply.
+	Shed int `json:"shed"`
+	// TypedErrors counts every other typed failure by wire code
+	// (injected, deadline, canceled, budget_exceeded, ...).
+	TypedErrors map[string]int `json:"typed_errors"`
+	// Mismatches counts 200 responses whose result bytes differ from the
+	// serial oracle — cross-request contamination. Must be zero.
+	Mismatches int `json:"mismatches"`
+	// Untyped counts failures outside the taxonomy (transport errors,
+	// non-200 without an error code). Must be zero.
+	Untyped int `json:"untyped"`
+	// Latency percentiles over successful (200) requests.
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// Report is the whole run, serialized into BENCH_serve.json by
+// `gdpd -loadtest`.
+type Report struct {
+	Seed     int64         `json:"seed"`
+	FaultPct int           `json:"fault_pct"`
+	Cases    int           `json:"cases"`
+	Levels   []LevelReport `json:"levels"`
+}
+
+// testCase is one distinct request shape; key indexes the oracle.
+type testCase struct {
+	endpoint string
+	req      serve.APIRequest
+	key      string
+}
+
+// benches/schemes are the mixed-traffic population. Sweep and best run on
+// fir only — the exhaustive surfaces are the expensive tail of the mix,
+// one benchmark is enough to keep them honest under concurrency.
+var benches = []string{"fir", "fsed", "viterbi"}
+var schemes = []string{"unified", "gdp", "profilemax", "naive"}
+
+func casePool() []testCase {
+	var pool []testCase
+	for _, b := range benches {
+		pool = append(pool, testCase{
+			endpoint: "/v1/compile",
+			req:      serve.APIRequest{Bench: b},
+			key:      "compile|" + b,
+		})
+		for _, s := range schemes {
+			pool = append(pool, testCase{
+				endpoint: "/v1/partition",
+				req:      serve.APIRequest{Bench: b, Scheme: s},
+				key:      partitionKey(b, s),
+			})
+		}
+	}
+	pool = append(pool,
+		testCase{endpoint: "/v1/sweep", req: serve.APIRequest{Bench: "fir"}, key: "sweep|fir"},
+		testCase{endpoint: "/v1/best", req: serve.APIRequest{Bench: "fir"}, key: "best|fir"},
+	)
+	return pool
+}
+
+func partitionKey(bench, scheme string) string { return "partition|" + bench + "|" + scheme }
+
+// Run executes the harness: one serial oracle pass, then each concurrency
+// level. The returned error is non-nil if any level saw a mismatch or an
+// untyped failure — the conditions the robustness contract forbids.
+func Run(opts Options) (*Report, error) {
+	if opts.URL == "" {
+		return nil, fmt.Errorf("loadtest: URL is required")
+	}
+	if len(opts.Levels) == 0 {
+		return nil, fmt.Errorf("loadtest: at least one concurrency level is required")
+	}
+	requests := opts.Requests
+	if requests <= 0 {
+		requests = 96
+	}
+	faultPct := opts.FaultPct
+	if faultPct <= 0 {
+		faultPct = 25
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Minute}
+	}
+
+	pool := casePool()
+
+	// Serial oracle pass: every distinct case once, no faults, recording
+	// the deterministic result bytes.
+	oracle := make(map[string]json.RawMessage, len(pool))
+	for _, tc := range pool {
+		env, _, err := send(client, opts.URL, tc.endpoint, tc.req)
+		if err != nil {
+			return nil, fmt.Errorf("loadtest: oracle %s: %w", tc.key, err)
+		}
+		if !env.OK || env.Degraded != nil {
+			return nil, fmt.Errorf("loadtest: oracle %s failed: %+v", tc.key, env.Error)
+		}
+		oracle[tc.key] = env.Result
+	}
+
+	report := &Report{Seed: opts.Seed, FaultPct: faultPct, Cases: len(pool)}
+	for _, level := range opts.Levels {
+		lr, err := runLevel(client, opts.URL, pool, oracle, level, requests, opts.Seed, faultPct, opts.Pacing)
+		if err != nil {
+			return report, err
+		}
+		report.Levels = append(report.Levels, *lr)
+	}
+	for _, lr := range report.Levels {
+		if lr.Mismatches > 0 || lr.Untyped > 0 {
+			return report, fmt.Errorf("loadtest: level %d: %d result mismatches, %d untyped failures",
+				lr.Concurrency, lr.Mismatches, lr.Untyped)
+		}
+	}
+	return report, nil
+}
+
+// faultKind is the per-request fault plan.
+type faultKind int
+
+const (
+	faultNone    faultKind = iota
+	faultDegrade           // eval-stage fault + fallback: expect honest degradation
+	faultServe             // serve-stage fault: expect typed 500 injected
+	faultTimeout           // 1 ms deadline: expect 504 (or a legitimately fast 200)
+)
+
+// plannedRequest is one deterministic slot in a level's schedule.
+type plannedRequest struct {
+	tc    testCase
+	fault faultKind
+	stage string // serve stage for faultServe
+}
+
+// schedule builds a level's request population deterministically from the
+// seed; workers consume it in arbitrary interleaving, which is the point —
+// the *population* is reproducible, the *timing* is the stress.
+func schedule(pool []testCase, level, requests int, seed int64, faultPct int) []plannedRequest {
+	rng := rand.New(rand.NewSource(seed + int64(level)*7919))
+	serveStages := []string{"compile", "respond", "admit"}
+	plan := make([]plannedRequest, requests)
+	for i := range plan {
+		tc := pool[rng.Intn(len(pool))]
+		p := plannedRequest{tc: tc}
+		if rng.Intn(100) < faultPct {
+			switch rng.Intn(3) {
+			case 0:
+				if tc.endpoint == "/v1/partition" {
+					p.fault = faultDegrade
+					p.tc.req.Fallback = true
+					p.tc.req.Inject = &serve.InjectSpec{Stage: "partition", Scheme: tc.req.Scheme}
+				}
+			case 1:
+				p.fault = faultServe
+				p.stage = serveStages[rng.Intn(len(serveStages))]
+				p.tc.req.Inject = &serve.InjectSpec{Stage: p.stage}
+			case 2:
+				p.fault = faultTimeout
+				p.tc.req.TimeoutMS = 1
+			}
+		}
+		plan[i] = p
+	}
+	return plan
+}
+
+func runLevel(client *http.Client, url string, pool []testCase, oracle map[string]json.RawMessage,
+	level, requests int, seed int64, faultPct int, pacing time.Duration) (*LevelReport, error) {
+
+	plan := schedule(pool, level, requests, seed, faultPct)
+	lr := &LevelReport{Concurrency: level, Requests: len(plan), TypedErrors: map[string]int{}}
+
+	var mu sync.Mutex
+	var latencies []time.Duration
+	var next int64 = -1
+
+	var wg sync.WaitGroup
+	for w := 0; w < level; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			first := true
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(plan) {
+					return
+				}
+				if pacing > 0 && !first {
+					time.Sleep(pacing)
+				}
+				first = false
+				p := plan[i]
+				env, elapsed, err := send(client, url, p.tc.endpoint, p.tc.req)
+				mu.Lock()
+				classifyResponse(lr, &latencies, oracle, p, env, elapsed, err)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	lr.P50MS, lr.P95MS, lr.P99MS = percentiles(latencies)
+	return lr, nil
+}
+
+// classifyResponse scores one response against the robustness contract.
+// Caller holds the level mutex.
+func classifyResponse(lr *LevelReport, latencies *[]time.Duration,
+	oracle map[string]json.RawMessage, p plannedRequest, env *envelope, elapsed time.Duration, err error) {
+
+	if err != nil {
+		lr.Untyped++
+		return
+	}
+	switch {
+	case env.status == 200 && env.Degraded == nil:
+		*latencies = append(*latencies, elapsed)
+		if want, ok := oracle[p.tc.key]; !ok || !bytes.Equal(env.Result, want) {
+			lr.Mismatches++
+			return
+		}
+		lr.OK++
+	case env.status == 200 && env.Degraded != nil:
+		// An honest degradation: the result must be byte-identical to the
+		// fallback scheme's own oracle entry for the same benchmark.
+		*latencies = append(*latencies, elapsed)
+		var pr struct {
+			Scheme string `json:"scheme"`
+		}
+		if json.Unmarshal(env.Result, &pr) != nil {
+			lr.Mismatches++
+			return
+		}
+		key := partitionKey(p.tc.req.Bench, strings.ToLower(pr.Scheme))
+		if want, ok := oracle[key]; !ok || !bytes.Equal(env.Result, want) {
+			lr.Mismatches++
+			return
+		}
+		lr.Degraded++
+	case env.Error != nil && (env.Error.Code == "rate_limited" || env.Error.Code == "overloaded" || env.Error.Code == "draining"):
+		lr.Shed++
+	case env.Error != nil:
+		lr.TypedErrors[env.Error.Code]++
+	default:
+		lr.Untyped++
+	}
+}
+
+// envelope is serve.APIResponse plus the transport status.
+type envelope struct {
+	serve.APIResponse
+	status int
+}
+
+func send(client *http.Client, url, endpoint string, req serve.APIRequest) (*envelope, time.Duration, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	resp, err := client.Post(url+endpoint, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	env := &envelope{status: resp.StatusCode}
+	if err := json.NewDecoder(resp.Body).Decode(&env.APIResponse); err != nil {
+		return nil, 0, fmt.Errorf("%s: decode: %w", endpoint, err)
+	}
+	return env, time.Since(start), nil
+}
+
+// percentiles reduces success latencies to p50/p95/p99 in milliseconds.
+func percentiles(ds []time.Duration) (p50, p95, p99 float64) {
+	if len(ds) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(ds)-1))
+		return float64(ds[i].Microseconds()) / 1e3
+	}
+	return at(0.50), at(0.95), at(0.99)
+}

@@ -107,7 +107,13 @@ type Store struct {
 	// records at logical offsets [size, size+len(pending)).
 	size    int64
 	pending []byte
-	index   map[[sha256.Size]byte]int64 // key hash -> logical record offset
+	index   map[[sha256.Size]byte]recRef // key hash -> logical record frame
+
+	// liveBytes is the total frame length of indexed (live) records; the
+	// difference between the log length and headerSize+liveBytes is the
+	// shadowed garbage Compact can reclaim (superseded last-wins records,
+	// CRC-failed frames, MarkCorrupt victims).
+	liveBytes int64
 
 	// ioErr latches the first write failure: the store keeps serving reads
 	// but stops accepting writes (a broken disk degrades the cache, never
@@ -116,9 +122,21 @@ type Store struct {
 
 	hits, misses, writes, corrupt, dropped uint64
 	bytesWritten                           uint64
+	compactions, bytesReclaimed            uint64
 
 	// Observer mirrors (nil defaults are no-ops; see SetObserver).
+	// observer keeps the handle itself so Compact can resolve its counters
+	// lazily — compaction metrics exist only once a compaction ran, which
+	// keeps them out of the CLI tools' golden metric outputs.
 	oHits, oMisses, oWrites, oCorrupt, oBytes *obs.Counter
+	observer                                  *obs.Observer
+}
+
+// recRef locates one live record: its logical frame offset and full frame
+// length (header + key + value + CRC).
+type recRef struct {
+	off    int64
+	length int64
 }
 
 // Open opens (creating if needed) the artifact log in dir and rebuilds the
@@ -135,7 +153,11 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{f: f, path: path, opts: opts, index: make(map[[sha256.Size]byte]int64)}
+	// A leftover compaction temp file means a crash mid-compaction: the
+	// rename never happened, so the main log is intact and the temp is
+	// garbage. Removing it is the whole recovery story.
+	os.Remove(path + compactSuffix)
+	s := &Store{f: f, path: path, opts: opts, index: make(map[[sha256.Size]byte]recRef)}
 	if err := s.load(); err != nil {
 		f.Close()
 		return nil, err
@@ -203,7 +225,13 @@ func (s *Store) load() error {
 			continue
 		}
 		key := body[recHeaderSize : recHeaderSize+keyLen]
-		s.index[sha256.Sum256(key)] = off // last record for a key wins
+		h := sha256.Sum256(key)
+		if old, ok := s.index[h]; ok {
+			// Last record for a key wins; the superseded one is shadow.
+			s.liveBytes -= old.length
+		}
+		s.index[h] = recRef{off: off, length: end - off}
+		s.liveBytes += end - off
 		off = end
 	}
 	if off < fileSize {
@@ -255,6 +283,7 @@ func (s *Store) SetObserver(o *obs.Observer) {
 	s.oWrites = o.Counter("store_writes")
 	s.oCorrupt = o.Counter("store_corrupt_skipped")
 	s.oBytes = o.Counter("store_bytes")
+	s.observer = o
 	s.mu.Unlock()
 }
 
@@ -269,17 +298,17 @@ func (s *Store) Get(key []byte) ([]byte, bool) {
 	h := sha256.Sum256(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	off, ok := s.index[h]
+	ref, ok := s.index[h]
 	if !ok {
 		s.misses++
 		s.oMisses.Add(1)
 		return nil, false
 	}
-	val, ok := s.readRecord(off, key)
+	val, ok := s.readRecord(ref.off, key)
 	if !ok {
 		// readRecord counted the corruption; drop the entry so the next
 		// recompute's Put can heal it.
-		delete(s.index, h)
+		s.dropRef(h)
 		s.misses++
 		s.oMisses.Add(1)
 		return nil, false
@@ -345,6 +374,15 @@ func (s *Store) markCorrupt() {
 	s.oCorrupt.Add(1)
 }
 
+// dropRef removes an index entry and its live-byte accounting (the record
+// bytes become shadow that Compact can reclaim). Caller holds s.mu.
+func (s *Store) dropRef(h [sha256.Size]byte) {
+	if ref, ok := s.index[h]; ok {
+		s.liveBytes -= ref.length
+		delete(s.index, h)
+	}
+}
+
 // MarkCorrupt records that the value stored under key failed a
 // higher-level decode (the record framing was intact but the payload was
 // not usable) and drops the index entry so the next recompute overwrites
@@ -356,7 +394,7 @@ func (s *Store) MarkCorrupt(key []byte) {
 	h := sha256.Sum256(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.index, h)
+	s.dropRef(h)
 	s.markCorrupt()
 }
 
@@ -394,7 +432,8 @@ func (s *Store) Put(key, val []byte) {
 	s.pending = append(s.pending, key...)
 	s.pending = append(s.pending, val...)
 	s.pending = binary.LittleEndian.AppendUint32(s.pending, crc32.ChecksumIEEE(s.pending[start:]))
-	s.index[h] = off
+	s.index[h] = recRef{off: off, length: recLen}
+	s.liveBytes += recLen
 	s.writes++
 	s.oWrites.Add(1)
 	s.bytesWritten += uint64(recLen)
@@ -430,9 +469,9 @@ func (s *Store) flushLocked() {
 		s.ioErr = fmt.Errorf("store: %w", err)
 		// Offsets beyond s.size now point at lost bytes; drop them so
 		// reads cannot touch the void.
-		for h, off := range s.index {
-			if off >= s.size {
-				delete(s.index, h)
+		for h, ref := range s.index {
+			if ref.off >= s.size {
+				s.dropRef(h)
 			}
 		}
 	}
@@ -474,6 +513,13 @@ type Stats struct {
 	BytesWritten uint64
 	// LogBytes is the current logical log length (durable + pending).
 	LogBytes int64
+	// ShadowBytes is the portion of LogBytes holding superseded or
+	// corrupt records no index entry points at — what Compact reclaims.
+	ShadowBytes int64
+	// Compactions counts completed Compact runs.
+	Compactions uint64
+	// BytesReclaimed is the total log shrinkage across those runs.
+	BytesReclaimed uint64
 	// Entries is the number of indexed records.
 	Entries int
 }
@@ -501,8 +547,22 @@ func (s *Store) Stats() Stats {
 		DroppedFull:    s.dropped,
 		BytesWritten:   s.bytesWritten,
 		LogBytes:       s.size + int64(len(s.pending)),
+		ShadowBytes:    s.shadowLocked(),
+		Compactions:    s.compactions,
+		BytesReclaimed: s.bytesReclaimed,
 		Entries:        len(s.index),
 	}
+}
+
+// shadowLocked computes the reclaimable garbage bytes. Caller holds s.mu.
+func (s *Store) shadowLocked() int64 {
+	shadow := s.size + int64(len(s.pending)) - headerSize - s.liveBytes
+	if shadow < 0 {
+		// A fresh (or reset) log is smaller than a header only transiently;
+		// clamp so callers can treat the value as a size.
+		shadow = 0
+	}
+	return shadow
 }
 
 // Path returns the log file path.

@@ -228,6 +228,10 @@ type CompileOptions struct {
 	// CacheMaxBytes bounds the artifact log (non-positive: the store's
 	// 1 GiB default).
 	CacheMaxBytes int64
+	// MaxBytes bounds the heap the profiling run may allocate; exceeding it
+	// fails compilation with a typed *interp.BudgetError. Non-positive
+	// means no byte budget.
+	MaxBytes int64
 }
 
 // Compile builds a Program from mclang source with default options.
@@ -250,8 +254,9 @@ func CompileCtx(ctx context.Context, name, source string, opts CompileOptions) (
 		unroll = eval.DefaultUnroll
 	}
 	c, err := eval.PrepareFullOpts(ctx, name, source, unroll, !opts.NoOptimize,
-		eval.Options{MaxSteps: opts.MaxSteps, LegacyInterp: opts.LegacyInterp,
-			CacheDir: opts.CacheDir, CacheMaxBytes: opts.CacheMaxBytes})
+		eval.Options{MaxSteps: opts.MaxSteps, MaxBytes: opts.MaxBytes,
+			LegacyInterp: opts.LegacyInterp,
+			CacheDir:     opts.CacheDir, CacheMaxBytes: opts.CacheMaxBytes})
 	if err != nil {
 		return nil, err
 	}
@@ -328,6 +333,18 @@ func (p *Program) MemoStats() MemoStats {
 	}
 }
 
+// ShrinkMemo evicts least-recently-used memoization entries until at most n
+// remain. Results are unaffected — evicted entries recompute (or reload
+// from the disk tier) on next use; this is the memory-pressure release
+// valve for long-lived Programs (the gdpd daemon calls it when the process
+// heap crosses its ceiling).
+func (p *Program) ShrinkMemo(n int) { p.c.ShrinkMemo(n) }
+
+// SetMemoCapacity rebounds the program's memoization cache (non-positive
+// selects the default capacity), evicting immediately if over the new
+// bound.
+func (p *Program) SetMemoCapacity(n int) { p.c.SetMemoCapacity(n) }
+
 // StoreStats are the persistent artifact store's counters (internal/store):
 // disk-tier hits and misses, records written, corrupt records skipped, and
 // log size. All-zero when no cache directory is attached. Like MemoStats
@@ -344,11 +361,17 @@ func Evaluate(p *Program, m *Machine, s Scheme, opts Options) (*Result, error) {
 }
 
 // EvaluateCtx is Evaluate under a context: cancellation stops the
-// partitioning pipeline between stages.
+// partitioning pipeline between stages. With Options.Fallback set, a
+// failing or invalid scheme degrades along the GDP→ProfileMax→Naive chain
+// exactly as in the matrix runners, recording the substitution in
+// Result.Degraded.
 func EvaluateCtx(ctx context.Context, p *Program, m *Machine, s Scheme, opts Options) (r *Result, err error) {
 	defer contain(&err)
 	if err := m.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.Fallback {
+		return eval.RunSchemeFallbackCtx(ctx, p.c, m, s, opts)
 	}
 	return eval.RunSchemeCtx(ctx, p.c, m, s, opts)
 }

@@ -1,0 +1,70 @@
+#!/bin/sh
+# serve_smoke.sh boots gdpd as a real process with fault injection
+# enabled, proves the daemon's lifecycle over a live socket, and requires
+# a clean SIGTERM drain:
+#
+#   1. /healthz goes green and /readyz reports ready.
+#   2. A clean /v1/partition request returns ok:true.
+#   3. An injected GDP fault with fallback returns ok:true plus an honest
+#      "degraded" marker (graceful degradation over the wire).
+#   4. An injected serve-stage fault returns the typed "injected" error.
+#   5. SIGTERM drains: the process exits 0 on its own.
+#
+# The in-process tests (internal/serve, internal/serve/loadtest, cmd/gdpd)
+# cover the same contracts at higher intensity; this script is the one
+# place the real binary, a real port, and a real signal meet.
+set -eu
+
+ADDR="${GDPD_ADDR:-127.0.0.1:18137}"
+URL="http://$ADDR"
+LOG="$(mktemp)"
+BIN="$(mktemp -d)/gdpd"
+
+fail() {
+	echo "serve-smoke: $1" >&2
+	echo "--- gdpd log ---" >&2
+	cat "$LOG" >&2
+	kill "$PID" 2>/dev/null || true
+	exit 1
+}
+
+go build -o "$BIN" ./cmd/gdpd
+"$BIN" -addr "$ADDR" -inject >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# 1. Liveness + readiness.
+i=0
+until curl -fsS "$URL/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -ge 50 ] || sleep 0.2
+	[ "$i" -lt 50 ] || fail "healthz never went green"
+done
+curl -fsS "$URL/readyz" >/dev/null || fail "readyz not ready"
+
+# 2. Clean request.
+OUT="$(curl -fsS -X POST "$URL/v1/partition" -d '{"bench":"fir","scheme":"gdp"}')"
+echo "$OUT" | grep -q '"ok":true' || fail "clean request failed: $OUT"
+
+# 3. Graceful degradation: injected GDP fault + fallback -> ok with marker.
+OUT="$(curl -fsS -X POST "$URL/v1/partition" \
+	-d '{"bench":"fir","scheme":"gdp","fallback":true,"inject":{"stage":"partition","scheme":"gdp"}}')"
+echo "$OUT" | grep -q '"ok":true' || fail "degraded request failed: $OUT"
+echo "$OUT" | grep -q '"degraded"' || fail "degradation marker missing: $OUT"
+
+# 4. Typed failure: serve-stage fault -> code "injected" (HTTP 500, so no -f).
+OUT="$(curl -sS -X POST "$URL/v1/compile" \
+	-d '{"bench":"fir","inject":{"stage":"compile"}}')"
+echo "$OUT" | grep -q '"code":"injected"' || fail "typed injected error missing: $OUT"
+
+# 5. Metrics render.
+curl -fsS "$URL/metrics" | grep -q '^serve_requests' || fail "metrics missing serve_requests"
+
+# 6. SIGTERM drain: the process must exit 0 by itself.
+kill -TERM "$PID"
+trap - EXIT
+STATUS=0
+wait "$PID" || STATUS=$?
+[ "$STATUS" -eq 0 ] || fail "drain exited $STATUS"
+grep -q "drained" "$LOG" || fail "drain log line missing"
+echo "serve-smoke: ok"
