@@ -49,15 +49,17 @@ cover:
 	awk -v p="$$pct" -v min="$(OBS_COVER_MIN)" 'BEGIN { exit !(p+0 < min+0) }' && \
 		{ echo "internal/obs coverage $$pct% is below the $(OBS_COVER_MIN)% floor"; exit 1; } || true
 
-# Native Go fuzzing over the five harnesses: raw bytes through the
+# Native Go fuzzing over the six harnesses: raw bytes through the
 # parser, (source, unroll) pairs through the full front end with an IR
 # verifier oracle, progen seeds through the whole pipeline with the
 # checksum-preservation and independent-validator oracles, mclang
 # source through both profiling engines with the tree-walker as the
-# differential oracle (FuzzVM), and progen seeds through the Gray-code
+# differential oracle (FuzzVM), progen seeds through the Gray-code
 # delta sweep with the full per-mask engine and the branch-and-bound
-# search as differential oracles (FuzzSweep). `go test` accepts one
-# -fuzz pattern per invocation, hence five runs. Tune with e.g.
+# search as differential oracles (FuzzSweep), and progen programs ×
+# random valid machine topologies through the validated scheme suite
+# and the base-k sweep differentials (FuzzTopology). `go test` accepts
+# one -fuzz pattern per invocation, hence six runs. Tune with e.g.
 # `make fuzz FUZZTIME=5m`.
 FUZZTIME ?= 30s
 
@@ -67,6 +69,7 @@ fuzz:
 	$(GO) test ./internal/eval/ -run XXX -fuzz FuzzPipeline -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bytecode/ -run XXX -fuzz FuzzVM -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/eval/ -run XXX -fuzz FuzzSweep -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/eval/ -run XXX -fuzz FuzzTopology -fuzztime $(FUZZTIME)
 
 # Regenerates every table and figure of the paper as benchmark metrics.
 bench:

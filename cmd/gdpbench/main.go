@@ -62,6 +62,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 
@@ -96,6 +97,7 @@ func run(args []string, out io.Writer) (err error) {
 		table       = fs.String("table", "", "table to regenerate (1)")
 		figure      = fs.String("figure", "", "figure to regenerate (2, 7, 8a, 8b, 9, 10)")
 		compileTime = fs.Bool("compiletime", false, "regenerate §4.5 compile-time comparison")
+		topology    = fs.Bool("topology", false, "emit the cluster-count x topology comparison (GDP vs unified on every machine preset)")
 		all         = fs.Bool("all", false, "regenerate every table and figure")
 		filter      = fs.String("run", "", "only benchmarks whose name contains this substring")
 		jsonOut     = fs.Bool("json", false, "emit machine-readable JSON (per-benchmark, all latencies) instead of text")
@@ -144,7 +146,7 @@ func run(args []string, out io.Writer) (err error) {
 		return err
 	}
 	h := &harness{ctx: ctx, filter: *filter, workers: *jobs, noMemo: *noMemo, legacyPart: *legacyPart, legacyInterp: *legacyInt, validate: *validate, cacheDir: *cacheDir, cacheMax: *cacheMax, observer: sinks.Observer(), cache: map[string]*eval.Compiled{}, out: out}
-	err = h.emit(*jsonOut, *svgDir, *table, *figure, *compileTime, *all)
+	err = h.emit(*jsonOut, *svgDir, *table, *figure, *compileTime, *topology, *all)
 	if stopErr := prof.Stop(); err == nil {
 		err = stopErr
 	}
@@ -162,8 +164,10 @@ func run(args []string, out io.Writer) (err error) {
 	return nil
 }
 
-// emit runs whatever output the flags selected.
-func (h *harness) emit(jsonOut bool, svgDir, table, figure string, compileTime, all bool) error {
+// emit runs whatever output the flags selected. -topology is not part of
+// -all: the preset sweep multiplies the whole matrix by the machine count,
+// and -all's output is pinned by determinism tests.
+func (h *harness) emit(jsonOut bool, svgDir, table, figure string, compileTime, topology, all bool) error {
 	out := h.out
 	if jsonOut {
 		return h.emitJSON()
@@ -218,8 +222,14 @@ func (h *harness) emit(jsonOut bool, svgDir, table, figure string, compileTime, 
 		}
 		any = true
 	}
+	if topology {
+		if err := h.topologyFigure(); err != nil {
+			return err
+		}
+		any = true
+	}
 	if !any {
-		return fmt.Errorf("nothing selected; use -all, -table, -figure, or -compiletime")
+		return fmt.Errorf("nothing selected; use -all, -table, -figure, -topology, or -compiletime")
 	}
 	return nil
 }
@@ -366,6 +376,61 @@ func (h *harness) figure9() error {
 			return err
 		}
 		fmt.Fprintln(h.out, eval.FormatFigure9(b.Name, ex))
+	}
+	return nil
+}
+
+// topologyFigure sweeps every machine preset at 5-cycle base move latency
+// and reports, per preset, the geometric-mean GDP performance relative to
+// that preset's own unified-memory bound and the total intercluster moves.
+// The (preset x benchmark) cells fan across the -j pool; the table is
+// assembled in preset order, so the output is byte-identical at every -j.
+func (h *harness) topologyFigure() error {
+	presets := machine.PresetNames()
+	cfgs := make([]*machine.Config, len(presets))
+	for i, name := range presets {
+		cfg, err := machine.Preset(name, 5)
+		if err != nil {
+			return err
+		}
+		cfgs[i] = cfg
+	}
+	cs, err := h.prepareAll(h.benchmarks())
+	if err != nil {
+		return err
+	}
+	if len(cs) == 0 {
+		return fmt.Errorf("no benchmarks match -run %q", h.filter)
+	}
+	type cell struct{ unified, gdp *eval.Result }
+	cells, err := parallel.MapStage(h.ctx, "topology", len(presets)*len(cs), h.workers,
+		func(ctx context.Context, i int) (cell, error) {
+			cfg, c := cfgs[i/len(cs)], cs[i%len(cs)]
+			u, err := eval.RunSchemeCtx(ctx, c, cfg, eval.SchemeUnified, h.options())
+			if err != nil {
+				return cell{}, &eval.CellError{Bench: c.Name, Scheme: eval.SchemeUnified, Err: err}
+			}
+			g, err := eval.RunSchemeCtx(ctx, c, cfg, eval.SchemeGDP, h.options())
+			if err != nil {
+				return cell{}, &eval.CellError{Bench: c.Name, Scheme: eval.SchemeGDP, Err: err}
+			}
+			return cell{u, g}, nil
+		})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(h.out, "Cluster count x topology: GDP vs per-machine unified bound (5-cycle base latency)")
+	fmt.Fprintf(h.out, "  %-8s %-8s %-9s %12s %12s\n", "preset", "clusters", "topology", "geomean", "moves")
+	for p, name := range presets {
+		logSum, moves := 0.0, int64(0)
+		for b := range cs {
+			c := cells[p*len(cs)+b]
+			logSum += math.Log(eval.RelativePerf(c.unified, c.gdp))
+			moves += c.gdp.Moves
+		}
+		cfg := cfgs[p]
+		fmt.Fprintf(h.out, "  %-8s %-8d %-9s %12.4f %12d\n",
+			name, cfg.NumClusters(), cfg.Topology, math.Exp(logSum/float64(len(cs))), moves)
 	}
 	return nil
 }

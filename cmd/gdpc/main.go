@@ -55,7 +55,8 @@ func run(args []string, out io.Writer) (err error) {
 		list      = fs.Bool("list", false, "list bundled benchmarks and exit")
 		scheme    = fs.String("scheme", "all", "gdp | profilemax | naive | unified | all")
 		latency   = fs.Int("latency", 5, "intercluster move latency in cycles")
-		clusters  = fs.Int("clusters", 2, "number of clusters (2 or 4)")
+		clusters  = fs.Int("clusters", 2, "number of clusters (2 or 4; ignored when -machine is set)")
+		machineN  = fs.String("machine", "", "machine preset: paper2 | four | eight | hetero2 | ring4 | ring8 | mesh4 | mesh8 | numa4 (overrides -clusters)")
 		unroll    = fs.Int("unroll", 0, "loop unrolling factor (0 = default)")
 		dumpIR    = fs.Bool("dump-ir", false, "print the compiled IR and exit")
 		dumpSched = fs.String("dump-sched", "", "print the VLIW schedule of this function under the chosen scheme")
@@ -115,13 +116,20 @@ func run(args []string, out io.Writer) (err error) {
 	}
 
 	var m *mcpart.Machine
-	switch *clusters {
-	case 2:
-		m = mcpart.Paper2Cluster(*latency)
-	case 4:
-		m = mcpart.FourCluster(*latency)
-	default:
-		return fmt.Errorf("unsupported cluster count %d (use 2 or 4)", *clusters)
+	if *machineN != "" {
+		m, err = mcpart.MachinePreset(*machineN, *latency)
+		if err != nil {
+			return err
+		}
+	} else {
+		switch *clusters {
+		case 2:
+			m = mcpart.Paper2Cluster(*latency)
+		case 4:
+			m = mcpart.FourCluster(*latency)
+		default:
+			return fmt.Errorf("unsupported cluster count %d (use 2 or 4, or -machine for topology presets)", *clusters)
+		}
 	}
 
 	fmt.Fprintf(out, "program %s  checksum %d  machine %s\n", prog.Name(), prog.Checksum(), m.Name)

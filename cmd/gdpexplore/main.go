@@ -80,6 +80,7 @@ func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("gdpexplore", flag.ContinueOnError)
 	var (
 		benchN   = fs.String("bench", "rawcaudio", "benchmark to explore")
+		machineN = fs.String("machine", "paper2", "machine preset: paper2 | four | eight | hetero2 | ring4 | ring8 | mesh4 | mesh8 | numa4")
 		latency  = fs.Int("latency", 5, "intercluster move latency")
 		maxObj   = fs.Int("maxobjects", defaults.DefaultMaxObjects, "refuse programs with more data objects")
 		csv      = fs.Bool("csv", false, "emit CSV instead of a text scatter")
@@ -146,7 +147,10 @@ func run(args []string, out io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
-	m := mcpart.Paper2Cluster(*latency)
+	m, err := mcpart.MachinePreset(*machineN, *latency)
+	if err != nil {
+		return err
+	}
 	opts := mcpart.Options{Workers: *jobs, NoMemo: *noMemo, NoDelta: *noDelta, LegacyPartition: *legacy, Validate: *validate, CacheDir: *cacheDir, CacheMaxBytes: *cacheMax, Observer: sinks.Observer()}
 	if *bestOnly {
 		// -best raises the object cap to the branch-and-bound default

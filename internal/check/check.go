@@ -427,6 +427,41 @@ func checkSchedules(v *Recorder, f *ir.Func, asg []int, cfg *machine.Config, pro
 // mutation tests can corrupt a BlockSchedule directly and watch each
 // invariant class fire; Validate uses it on schedules it materializes
 // itself.
+// moveLatency re-derives the per-hop move cost from the machine topology
+// from first principles. It deliberately does not call cfg.MoveLat — the
+// whole point is to catch a bug in the production distance computation, so
+// the ring arithmetic, the mesh Manhattan distance, and the matrix lookup
+// are reimplemented here.
+func moveLatency(cfg *machine.Config, a, b int) int {
+	if a == b {
+		return 0
+	}
+	switch cfg.Topology {
+	case machine.TopologyRing:
+		n := cfg.NumClusters()
+		fwd := ((b-a)%n + n) % n
+		if back := n - fwd; back < fwd {
+			fwd = back
+		}
+		return cfg.MoveLatency * fwd
+	case machine.TopologyMesh:
+		cols := cfg.MeshCols
+		rowDist := a/cols - b/cols
+		if rowDist < 0 {
+			rowDist = -rowDist
+		}
+		colDist := a%cols - b%cols
+		if colDist < 0 {
+			colDist = -colDist
+		}
+		return cfg.MoveLatency * (rowDist + colDist)
+	case machine.TopologyMatrix:
+		return cfg.LatencyMatrix[a][b]
+	default:
+		return cfg.MoveLatency
+	}
+}
+
 func VerifyBlock(v *Recorder, b *ir.Block, bs *sched.BlockSchedule, asg []int, cfg *machine.Config) (length, moveCount int) {
 	length = 1
 	if bs == nil {
@@ -475,6 +510,19 @@ func VerifyBlock(v *Recorder, b *ir.Block, bs *sched.BlockSchedule, asg []int, c
 			}
 		} else if !s.IsMove {
 			v.add(ClassAssign, fn, b.ID, "slot %d past the block's %d ops is not a move", si, len(b.Ops))
+		}
+		if s.IsMove {
+			switch {
+			case s.To < 0 || s.To >= k:
+				v.add(ClassAssign, fn, b.ID, "move slot %d targets cluster %d of %d", si, s.To, k)
+			case s.To == s.Cluster:
+				v.add(ClassAssign, fn, b.ID, "move slot %d targets its own cluster %d", si, s.To)
+			default:
+				if want := moveLatency(cfg, s.Cluster, s.To); s.Lat != want {
+					v.add(ClassReady, fn, b.ID, "move slot %d (%d->%d) scheduled with latency %d, topology says %d",
+						si, s.Cluster, s.To, s.Lat, want)
+				}
+			}
 		}
 		occupancy[cell{s.Cycle, s.Cluster, s.Kind}]++
 		if s.IsMove {

@@ -43,8 +43,9 @@ import (
 
 // BestResult is the outcome of a branch-and-bound best-mapping search.
 type BestResult struct {
-	// Mask is an optimal data-object mapping (bit i = cluster of object
-	// i); ties resolve to the first optimum the search reaches, which is
+	// Mask is an optimal data-object mapping, encoded positionally in
+	// base k (digit i = cluster of object i; a bitmask at k=2); ties
+	// resolve to the first optimum the search reaches, which is
 	// deterministic for a given program and machine.
 	Mask uint64
 	// Cycles is the dynamic cycle count under Mask — equal to
@@ -61,16 +62,16 @@ type BestResult struct {
 
 // bbTableBudget caps the total min-table ladder size (entries across all
 // functions and levels). The ladder for a function touching t objects has
-// 2^(t+1) entries, so the cap really bounds per-function touched-object
-// counts; programs under DefaultBestMaxObjects objects only approach it
-// when single functions touch most of the objects — exactly the case
-// where phase 1 (2^t pipeline runs for that function) is infeasible
-// anyway.
+// about k^(t+1)/(k-1) entries, so the cap really bounds per-function
+// touched-object counts; programs under DefaultBestMaxObjects objects only
+// approach it when single functions touch most of the objects — exactly
+// the case where phase 1 (k^t pipeline runs for that function) is
+// infeasible anyway.
 const bbTableBudget = 1 << 25
 
-// BestMapping finds a cycle-optimal data-object mapping for a 2-cluster
-// machine without enumerating the 2^n mapping space. maxObjects guards the
-// search like Exhaustive's cap (non-positive selects
+// BestMapping finds a cycle-optimal data-object mapping for the machine's
+// k clusters without enumerating the k^n mapping space. maxObjects guards
+// the search like Exhaustive's cap (non-positive selects
 // defaults.DefaultBestMaxObjects); the result's Cycles always equals the
 // minimum the exhaustive sweep would report.
 func BestMapping(c *Compiled, cfg *machine.Config, opts Options, maxObjects int) (*BestResult, error) {
@@ -86,9 +87,7 @@ func BestMappingCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts 
 	ctx = obs.With(ctx, opts.Observer)
 	opts.ctx = ctx
 	opts.Observer = opts.Observer.Named("best").Named(c.Name)
-	if cfg.NumClusters() != 2 {
-		return nil, fmt.Errorf("eval: best-mapping search needs a 2-cluster machine, got %d", cfg.NumClusters())
-	}
+	k := cfg.NumClusters()
 	registerSweepCounters(opts.Observer)
 	n := len(c.Mod.Objects)
 	if maxObjects <= 0 {
@@ -97,13 +96,24 @@ func BestMappingCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts 
 	if n > maxObjects {
 		return nil, fmt.Errorf("eval: %s has %d objects; best-mapping search capped at %d", c.Name, n, maxObjects)
 	}
-	canon := cfg.SymmetricClusters()
+	rad, err := newRadix(k, n)
+	if err != nil {
+		return nil, err
+	}
+	// A single function can touch every object, so the k^n full-table size
+	// must itself fit the ladder budget before phase 1 builds anything.
+	// At k=2 the n <= maxObjects cap is strictly tighter, so this check
+	// only bites on k>2 machines.
+	if rad.pow[n] > bbTableBudget {
+		return nil, fmt.Errorf("eval: %s has %d mapping points on %d clusters; best-mapping search capped at %d", c.Name, rad.pow[n], k, int64(bbTableBudget))
+	}
+	canon := k == 2 && cfg.SymmetricClusters()
 
 	// Phase 1: the same per-function cost tables the sweep builds, through
 	// the same memo keys.
 	opts2, done := beginRun(c, SchemeFixed, opts)
 	res := &Result{Scheme: SchemeFixed}
-	tables, err := buildCostTables(ctx, c, cfg, opts2, canon, n, res)
+	tables, err := buildCostTables(ctx, c, cfg, opts2, rad, canon, n, res)
 	if err != nil {
 		err = sweepErr(c, err)
 		done(nil, err)
@@ -113,7 +123,9 @@ func BestMappingCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts 
 
 	var budget int64
 	for ti := range tables {
-		budget += int64(2) << uint(len(tables[ti].objs))
+		for j := 0; j <= len(tables[ti].objs); j++ {
+			budget += int64(rad.count(j))
+		}
 	}
 	if budget > bbTableBudget {
 		return nil, fmt.Errorf("eval: %s min-table ladder needs %d entries (budget %d); reduce touched-object fan-in or use the exhaustive sweep", c.Name, budget, bbTableBudget)
@@ -152,7 +164,7 @@ func BestMappingCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts 
 	// Build each function's min-table ladder in search order.
 	ladders := make([]*bbLadder, len(tables))
 	for ti := range tables {
-		ladders[ti] = newBBLadder(&tables[ti], depthOf, canon)
+		ladders[ti] = newBBLadder(&tables[ti], depthOf, canon, rad)
 	}
 	objRefs := make([][]int, n)
 	for ti := range tables {
@@ -166,8 +178,15 @@ func BestMappingCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts 
 		objRefs: objRefs,
 		ladders: ladders,
 		canon:   canon,
+		rad:     rad,
 		ctx:     ctx,
 		best:    int64(1)<<62 - 1,
+	}
+	search.childAt = make([][]int, len(order))
+	search.boundAt = make([][]int64, len(order))
+	for d := range order {
+		search.childAt[d] = make([]int, k)
+		search.boundAt[d] = make([]int64, k)
 	}
 	// Root bound: every function's global minimum.
 	for _, l := range ladders {
@@ -187,7 +206,7 @@ func BestMappingCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts 
 		t := &tables[ti]
 		sig := 0
 		for bi, o := range t.objs {
-			sig |= int(out.Mask>>uint(o)&1) << uint(bi)
+			sig += rad.digit(out.Mask, o) * int(rad.pow[bi])
 		}
 		out.Moves += t.cost[sig].Moves
 	}
@@ -201,7 +220,7 @@ func (t *costTable) minMax(canon bool) (lo, hi int64) {
 	fixed0 := canon && len(t.objs) > 0 && t.objs[0] == 0
 	first := true
 	for sig := range t.cost {
-		if fixed0 && sig&1 == 1 {
+		if fixed0 && sig%t.k != 0 {
 			continue
 		}
 		cyc := t.cost[sig].Cycles
@@ -221,20 +240,21 @@ func (t *costTable) minMax(canon bool) (lo, hi int64) {
 }
 
 // bbLadder is one function's min-table ladder. Level j is indexed by the
-// values of the function's first j decided bits (in global search order)
-// and holds the minimum cycles over all completions of the rest.
+// values (base k) of the function's first j decided digits (in global
+// search order) and holds the minimum cycles over all completions of the
+// rest.
 type bbLadder struct {
 	lvl [][]int64
 	// depth and prefix are the DFS's cursor into the ladder: how many of
-	// the function's bits the current partial assignment has decided, and
-	// their packed values.
+	// the function's digits the current partial assignment has decided,
+	// and their packed values.
 	depth  int
 	prefix int
 }
 
-func newBBLadder(t *costTable, depthOf []int, canon bool) *bbLadder {
+func newBBLadder(t *costTable, depthOf []int, canon bool, rad *radix) *bbLadder {
 	tb := len(t.objs)
-	// Local bit order: the function's objects sorted by global search
+	// Local digit order: the function's objects sorted by global search
 	// depth, so the DFS always extends the prefix at the current depth.
 	perm := make([]int, tb)
 	for i := range perm {
@@ -243,14 +263,14 @@ func newBBLadder(t *costTable, depthOf []int, canon bool) *bbLadder {
 	sort.Slice(perm, func(a, b int) bool { return depthOf[t.objs[perm[a]]] < depthOf[t.objs[perm[b]]] })
 
 	l := &bbLadder{lvl: make([][]int64, tb+1)}
-	top := make([]int64, 1<<uint(tb))
+	top := make([]int64, rad.count(tb))
 	fixed0 := canon && tb > 0 && t.objs[0] == 0
 	for v := range top {
 		sig := 0
 		for j, p := range perm {
-			sig |= (v >> uint(j) & 1) << uint(p)
+			sig += rad.digit(uint64(v), j) * int(rad.pow[p])
 		}
-		if fixed0 && sig&1 == 1 {
+		if fixed0 && sig%rad.k != 0 {
 			// Unreachable under canonical pinning (phase 1 left it
 			// unbuilt). Object 0 is searched first, so no minimum below
 			// ever spans this entry; poison it defensively.
@@ -261,14 +281,16 @@ func newBBLadder(t *costTable, depthOf []int, canon bool) *bbLadder {
 	}
 	l.lvl[tb] = top
 	for j := tb - 1; j >= 0; j-- {
-		cur := make([]int64, 1<<uint(j))
+		cur := make([]int64, rad.count(j))
 		next := l.lvl[j+1]
 		for v := range cur {
-			a, b := next[v], next[v|1<<uint(j)]
-			if b < a {
-				a = b
+			best := next[v]
+			for c := 1; c < rad.k; c++ {
+				if x := next[v+c*int(rad.pow[j])]; x < best {
+					best = x
+				}
 			}
-			cur[v] = a
+			cur[v] = best
 		}
 		l.lvl[j] = cur
 	}
@@ -282,6 +304,7 @@ type bbSearch struct {
 	objRefs [][]int
 	ladders []*bbLadder
 	canon   bool
+	rad     *radix
 	ctx     context.Context
 
 	bound    int64 // admissible lower bound for the current prefix
@@ -290,24 +313,27 @@ type bbSearch struct {
 	bestMask uint64
 	visited  int64
 	pruned   int64
+
+	// childAt/boundAt are per-depth scratch rows for child probing (k
+	// entries each), allocated once so the DFS itself never allocates.
+	childAt [][]int
+	boundAt [][]int64
 }
 
 // assign extends the prefix with object obj = v and returns the bound
-// delta (always >= 0: deciding a bit can only raise each function's
+// delta (always >= 0: deciding a digit can only raise each function's
 // minimum).
 func (s *bbSearch) assign(obj, v int) int64 {
 	var delta int64
 	for _, ti := range s.objRefs[obj] {
 		l := s.ladders[ti]
 		old := l.lvl[l.depth][l.prefix]
-		l.prefix |= v << uint(l.depth)
+		l.prefix += v * int(s.rad.pow[l.depth])
 		l.depth++
 		delta += l.lvl[l.depth][l.prefix] - old
 	}
 	s.bound += delta
-	if v == 1 {
-		s.mask |= 1 << uint(obj)
-	}
+	s.mask += uint64(v) * s.rad.pow[obj]
 	return delta
 }
 
@@ -316,10 +342,10 @@ func (s *bbSearch) unassign(obj, v int, delta int64) {
 	for _, ti := range s.objRefs[obj] {
 		l := s.ladders[ti]
 		l.depth--
-		l.prefix &^= 1 << uint(l.depth)
+		l.prefix -= v * int(s.rad.pow[l.depth])
 	}
 	s.bound -= delta
-	s.mask &^= 1 << uint(obj)
+	s.mask -= uint64(v) * s.rad.pow[obj]
 }
 
 func (s *bbSearch) dfs(depth int) error {
@@ -336,24 +362,32 @@ func (s *bbSearch) dfs(depth int) error {
 		return nil
 	}
 	obj := s.order[depth]
-	// Object 0 is pinned on symmetric machines (canonical masks).
+	// Object 0 is pinned on symmetric 2-cluster machines (canonical masks).
 	if s.canon && obj == 0 {
 		delta := s.assign(obj, 0)
 		err := s.dfs(depth + 1)
 		s.unassign(obj, 0, delta)
 		return err
 	}
-	// Probe both children and descend best-first: a near-optimal
-	// incumbent early makes the bound bite everywhere else.
-	d0 := s.assign(obj, 0)
-	b0 := s.bound
-	s.unassign(obj, 0, d0)
-	d1 := s.assign(obj, 1)
-	b1 := s.bound
-	s.unassign(obj, 1, d1)
-	children := [2]int{0, 1}
-	if b1 < b0 {
-		children = [2]int{1, 0}
+	// Probe every child and descend best-first (ties to the lower
+	// cluster, keeping the search deterministic): a near-optimal incumbent
+	// early makes the bound bite everywhere else.
+	k := s.rad.k
+	children := s.childAt[depth]
+	bounds := s.boundAt[depth]
+	for v := 0; v < k; v++ {
+		d := s.assign(obj, v)
+		children[v] = v
+		bounds[v] = s.bound
+		s.unassign(obj, v, d)
+	}
+	// Stable insertion sort by bound: ties keep the lower cluster first,
+	// which at k=2 reproduces the historical {0,1}-unless-strictly-better
+	// probe order exactly.
+	for a := 1; a < k; a++ {
+		for b := a; b > 0 && bounds[children[b]] < bounds[children[b-1]]; b-- {
+			children[b], children[b-1] = children[b-1], children[b]
+		}
 	}
 	for _, v := range children {
 		delta := s.assign(obj, v)

@@ -735,7 +735,7 @@ func RunGDP(c *Compiled, cfg *machine.Config, opts Options) (r *Result, err erro
 		gopts.MemFractions = cfg.MemFractions()
 	}
 	dsp := opts.Observer.Span("data")
-	dp, err := gdp.PartitionData(c.Mod, c.Prof, cfg.NumClusters(), gopts)
+	dp, err := gdp.PartitionDataOn(c.Mod, c.Prof, cfg, gopts)
 	dsp.End()
 	if err != nil {
 		return nil, err

@@ -25,12 +25,16 @@ func registerSweepCounters(o *obs.Observer) {
 // MappingPoint is one point of the Figure 9 scatter: a complete data-object
 // mapping, its achieved cycles, and its data-size balance.
 type MappingPoint struct {
-	// Mask bit i gives the cluster of object i (2-cluster machines only).
+	// Mask encodes the mapping positionally in base k (the cluster count):
+	// digit i gives the cluster of object i. On 2-cluster machines this is
+	// the familiar bitmask; on k>2 machines read digits with repeated
+	// division by k.
 	Mask uint64
 	// Cycles is the dynamic cycle count under this mapping.
 	Cycles int64
-	// Imbalance is |bytes0-bytes1| / total in [0,1]; 0 = perfectly
-	// balanced (the paper shades imbalanced points darker).
+	// Imbalance is (max cluster bytes - min cluster bytes) / total in
+	// [0,1]; 0 = perfectly balanced (the paper shades imbalanced points
+	// darker). On 2-cluster machines this equals |bytes0-bytes1| / total.
 	Imbalance float64
 	// PerfVsWorst is cycles(worst mapping) / cycles(this), >= 1.
 	PerfVsWorst float64
@@ -47,10 +51,11 @@ type ExhaustiveResult struct {
 	Worst, Best int64
 }
 
-// Exhaustive enumerates every data-object mapping onto a 2-cluster machine
-// (2^objects of them), evaluates each through the locked second pass, and
-// returns the scatter along with the mappings GDP and Profile Max picked.
-// The object count must be at most maxObjects (guard against blowup).
+// Exhaustive enumerates every data-object mapping onto the machine's k
+// clusters (k^objects of them), evaluates each through the locked second
+// pass, and returns the scatter along with the mappings GDP and Profile
+// Max picked. The mapping-point count must be at most 2^maxObjects (guard
+// against blowup); at k=2 that is the familiar object-count cap.
 //
 // The masks are fanned across opts.Workers goroutines; every worker owns
 // its own DataMap and (through RunWithDataMap) its own scheduler and
@@ -58,16 +63,19 @@ type ExhaustiveResult struct {
 // order, so the result is byte-identical to the serial evaluation.
 // Points[i].Mask == i always holds (Find exploits this).
 //
-// On cluster-symmetric machines (machine.Config.SymmetricClusters) a mask
-// and its bitwise complement describe the same placement up to a cluster
-// relabeling, so each mask is evaluated through its canonical
+// On cluster-symmetric 2-cluster machines (machine.Config.SymmetricClusters)
+// a mask and its bitwise complement describe the same placement up to a
+// cluster relabeling, so each mask is evaluated through its canonical
 // representative — the member of the {mask, ^mask} pair with object 0 on
 // cluster 0. Canonicalization makes cycles(mask) == cycles(^mask) hold
 // exactly (the partitioner's lower-cluster tie-breaks would otherwise
 // skew complements slightly) and lets the sweep evaluate only the 2^(n-1)
 // canonical masks and mirror the rest; Options.NoSymPrune forces the full
 // enumeration but keeps canonicalization, so both modes return identical
-// points. Asymmetric machines always sweep every mask uncanonicalized.
+// points. Asymmetric machines — and every machine with more than two
+// clusters, where the relabeling orbit is the full k! group and mirroring
+// is no longer a cheap complement — always sweep every mask
+// uncanonicalized.
 func Exhaustive(c *Compiled, cfg *machine.Config, opts Options, maxObjects int) (*ExhaustiveResult, error) {
 	return ExhaustiveCtx(context.Background(), c, cfg, opts, maxObjects)
 }
@@ -81,9 +89,7 @@ func ExhaustiveCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts O
 	ctx = obs.With(ctx, opts.Observer)
 	opts.ctx = ctx
 	opts.Observer = opts.Observer.Named("exhaustive").Named(c.Name)
-	if cfg.NumClusters() != 2 {
-		return nil, fmt.Errorf("eval: exhaustive search needs a 2-cluster machine, got %d", cfg.NumClusters())
-	}
+	k := cfg.NumClusters()
 	registerSweepCounters(opts.Observer)
 	n := len(c.Mod.Objects)
 	if maxObjects <= 0 {
@@ -92,13 +98,21 @@ func ExhaustiveCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts O
 	if n > maxObjects {
 		return nil, fmt.Errorf("eval: %s has %d objects; exhaustive search capped at %d", c.Name, n, maxObjects)
 	}
+	rad, err := newRadix(k, n)
+	if err != nil {
+		return nil, err
+	}
+	if maxObjects < 63 && rad.pow[n] > uint64(1)<<uint(maxObjects) {
+		return nil, fmt.Errorf("eval: %s has %d mapping points on %d clusters; exhaustive search capped at %d points", c.Name, rad.pow[n], k, uint64(1)<<uint(maxObjects))
+	}
+	pointCount := rad.count(n)
 	var totalBytes int64
 	bytes := make([]int64, n)
 	for i := range bytes {
 		bytes[i] = objectBytes(c, i)
 		totalBytes += bytes[i]
 	}
-	canon := cfg.SymmetricClusters()
+	canon := k == 2 && cfg.SymmetricClusters()
 	full := uint64(1)<<uint(n) - 1
 	evalMask := func(mask uint64) (MappingPoint, error) {
 		sp := opts.Observer.Span(fmt.Sprintf("mask%04x", mask))
@@ -109,12 +123,10 @@ func ExhaustiveCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts O
 			emask = ^emask & full // cluster-swap to the canonical representative
 		}
 		dm := make(gdp.DataMap, n)
-		var b1 int64
+		clusterBytes := make([]int64, k)
 		for j := 0; j < n; j++ {
-			dm[j] = int(emask >> uint(j) & 1)
-			if dm[j] == 1 {
-				b1 += bytes[j]
-			}
+			dm[j] = rad.digit(emask, j)
+			clusterBytes[dm[j]] += bytes[j]
 		}
 		mopts := opts
 		mopts.Observer = sp.Observer()
@@ -122,13 +134,10 @@ func ExhaustiveCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts O
 		if err != nil {
 			return MappingPoint{}, &CellError{Bench: c.Name, Scheme: SchemeFixed, Mask: mask, HasMask: true, Err: err}
 		}
-		// The byte imbalance |b0-b1|/total is complement-invariant, so
-		// computing it from emask equals computing it from mask.
-		imb := 0.0
-		if totalBytes > 0 {
-			imb = float64(abs64(totalBytes-2*b1)) / float64(totalBytes)
-		}
-		return MappingPoint{Mask: mask, Cycles: r.Cycles, Imbalance: imb}, nil
+		// The byte imbalance (max-min)/total is invariant under cluster
+		// relabeling, so computing it from emask equals computing it from
+		// mask.
+		return MappingPoint{Mask: mask, Cycles: r.Cycles, Imbalance: imbalanceOf(clusterBytes, totalBytes)}, nil
 	}
 
 	res := &ExhaustiveResult{}
@@ -136,7 +145,7 @@ func ExhaustiveCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts O
 		// Gray-code delta sweep (see sweep.go): byte-identical points at a
 		// fraction of the per-mask cost. Fault injection and per-point
 		// validation need the full per-mask pipeline, so they fall through.
-		points, err := sweepPoints(ctx, c, cfg, opts, bytes, totalBytes, canon, n)
+		points, err := sweepPoints(ctx, c, cfg, opts, rad, bytes, totalBytes, canon, n)
 		if err != nil {
 			return nil, err
 		}
@@ -162,7 +171,7 @@ func ExhaustiveCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts O
 		}
 		res.Points = points
 	} else {
-		points, err := parallel.MapStage(ctx, "exhaustive", 1<<uint(n), opts.Workers,
+		points, err := parallel.MapStage(ctx, "exhaustive", pointCount, opts.Workers,
 			func(_ context.Context, i int) (MappingPoint, error) {
 				return evalMask(uint64(i))
 			})
@@ -186,7 +195,7 @@ func ExhaustiveCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts O
 	// Mark the schemes' choices (independent of the scatter and of each
 	// other, so they can share the pool too).
 	var gdpRes, pmaxRes *Result
-	err := parallel.Do(ctx, opts.Workers,
+	err = parallel.Do(ctx, opts.Workers,
 		func(context.Context) error {
 			r, err := RunGDP(c, cfg, opts)
 			if err != nil {
@@ -206,17 +215,16 @@ func ExhaustiveCtx(ctx context.Context, c *Compiled, cfg *machine.Config, opts O
 	if err != nil {
 		return nil, err
 	}
-	res.GDPMask = maskOf(gdpRes.DataMap)
-	res.PMaxMask = maskOf(pmaxRes.DataMap)
+	res.GDPMask = maskOf(gdpRes.DataMap, rad)
+	res.PMaxMask = maskOf(pmaxRes.DataMap, rad)
 	return res, nil
 }
 
-func maskOf(dm gdp.DataMap) uint64 {
+// maskOf packs a data map into its base-k positional mask.
+func maskOf(dm gdp.DataMap, rad *radix) uint64 {
 	var mask uint64
 	for i, cl := range dm {
-		if cl == 1 {
-			mask |= 1 << uint(i)
-		}
+		mask += uint64(cl) * rad.pow[i]
 	}
 	return mask
 }

@@ -72,9 +72,56 @@ func TestExhaustiveRejectsBigPrograms(t *testing.T) {
 	}
 }
 
-func TestExhaustiveRejectsNon2Cluster(t *testing.T) {
+// TestExhaustiveFourCluster pins the k-way generalization: on a 4-cluster
+// machine the sweep enumerates all k^n base-k masks, keeps the
+// Points[i].Mask == i invariant, and the scheme masks decode to in-range
+// homes.
+func TestExhaustiveFourCluster(t *testing.T) {
 	c := prepBench(t, "halftone")
-	if _, err := Exhaustive(c, machine.FourCluster(5), Options{}, 14); err == nil {
-		t.Error("accepted 4-cluster machine")
+	cfg := machine.FourCluster(5)
+	n := len(c.Mod.Objects)
+	ex, err := Exhaustive(c, cfg, Options{}, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rad, err := newRadix(4, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Points) != rad.count(n) {
+		t.Fatalf("got %d points, want 4^%d = %d", len(ex.Points), n, rad.count(n))
+	}
+	for i, p := range ex.Points {
+		if p.Mask != uint64(i) {
+			t.Fatalf("point %d carries mask %d", i, p.Mask)
+		}
+		if p.Cycles <= 0 {
+			t.Fatalf("mask %d: nonpositive cycles %d", i, p.Cycles)
+		}
+		if p.Imbalance < 0 || p.Imbalance > 1 {
+			t.Fatalf("mask %d: imbalance %v out of range", i, p.Imbalance)
+		}
+	}
+	for _, mask := range []uint64{ex.GDPMask, ex.PMaxMask} {
+		if ex.Find(mask) == nil {
+			t.Fatalf("scheme mask %d not among points", mask)
+		}
+		for j := 0; j < n; j++ {
+			if d := rad.digit(mask, j); d < 0 || d >= 4 {
+				t.Fatalf("scheme mask %d: object %d decodes to cluster %d", mask, j, d)
+			}
+		}
+	}
+	if ex.Best > ex.Worst {
+		t.Fatalf("best %d > worst %d", ex.Best, ex.Worst)
+	}
+}
+
+// TestExhaustiveRejectsPointBlowup: the point cap is on k^n, so a program
+// fine at k=2 can exceed it at k=8.
+func TestExhaustiveRejectsPointBlowup(t *testing.T) {
+	c := prepBench(t, "mpeg2dec") // 7 objects: 2^7 fine, 8^7 = 2^21 > 2^14
+	if _, err := Exhaustive(c, machine.EightCluster(5), Options{}, 14); err == nil {
+		t.Error("accepted 8^7-point sweep under a 2^14-point cap")
 	}
 }

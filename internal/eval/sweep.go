@@ -3,7 +3,6 @@ package eval
 import (
 	"context"
 	"errors"
-	"math/bits"
 	"time"
 
 	"mcpart/internal/gdp"
@@ -44,20 +43,22 @@ import (
 // results.
 
 // costTable is one function's cost for every reachable projection of the
-// data map onto its touched objects. Bit i of a signature index is the home
-// cluster of objs[i]. On cluster-symmetric machines the sweep only
-// enumerates canonical (object 0 on cluster 0) masks, so signatures with
-// the object-0 bit set are unreachable and stay zero.
+// data map onto its touched objects. Digit i (base k, the cluster count)
+// of a signature index is the home cluster of objs[i] — a bitmask at k=2.
+// On cluster-symmetric 2-cluster machines the sweep only enumerates
+// canonical (object 0 on cluster 0) masks, so signatures homing object 0
+// elsewhere are unreachable and stay zero.
 type costTable struct {
 	f    *ir.Func
 	objs []int
+	k    int
 	cost []sched.Cost
 }
 
-// objRef locates one function's table bit for an object.
+// objRef locates one function's table digit for an object.
 type objRef struct {
 	ti  int // index into tables
-	bit int // bit position within the table signature
+	bit int // digit position within the table signature
 }
 
 // tableStats carries one function's table plus its memo telemetry out of
@@ -94,7 +95,7 @@ func sweepErr(c *Compiled, err error) error {
 // the standard memoized per-function pipeline (locks → partition →
 // schedule cost), fanned across workers function-by-function.
 func buildCostTables(ctx context.Context, c *Compiled, cfg *machine.Config,
-	opts Options, canon bool, n int, res *Result) ([]costTable, error) {
+	opts Options, rad *radix, canon bool, n int, res *Result) ([]costTable, error) {
 
 	useMemo := opts.useMemo(c)
 	ropts := opts.rhopOpts()
@@ -109,9 +110,9 @@ func buildCostTables(ctx context.Context, c *Compiled, cfg *machine.Config,
 			} else {
 				objs = rhop.TouchedObjects(f)
 			}
-			ts := tableStats{table: costTable{f: f, objs: objs, cost: make([]sched.Cost, 1<<uint(len(objs)))}}
+			ts := tableStats{table: costTable{f: f, objs: objs, k: rad.k, cost: make([]sched.Cost, rad.count(len(objs)))}}
 			// Canonical masks pin object 0 to cluster 0, so signatures
-			// placing it on cluster 1 can never be asked for.
+			// placing it elsewhere can never be asked for.
 			fixed0 := canon && len(objs) > 0 && objs[0] == 0
 			var fp *rhop.FuncPartitioner
 			var sc *sched.Scratch
@@ -119,14 +120,14 @@ func buildCostTables(ctx context.Context, c *Compiled, cfg *machine.Config,
 			var bc *sched.BlockCache
 			dm := make(gdp.DataMap, n)
 			for sig := range ts.table.cost {
-				if fixed0 && sig&1 == 1 {
+				if fixed0 && sig%rad.k != 0 {
 					continue
 				}
 				if err := opts.ctxErr(); err != nil {
 					return ts, err
 				}
 				for i, o := range objs {
-					dm[o] = sig >> uint(i) & 1
+					dm[o] = rad.digit(uint64(sig), i)
 				}
 				var locks rhop.Locks
 				if useMemo {
@@ -206,7 +207,7 @@ func buildCostTables(ctx context.Context, c *Compiled, cfg *machine.Config,
 // logical DetailedRuns accounting the per-mask engine reports one run at a
 // time.
 func sweepPoints(ctx context.Context, c *Compiled, cfg *machine.Config, outer Options,
-	bytes []int64, totalBytes int64, canon bool, n int) (points []MappingPoint, err error) {
+	rad *radix, bytes []int64, totalBytes int64, canon bool, n int) (points []MappingPoint, err error) {
 
 	opts, done := beginRun(c, SchemeFixed, outer)
 	res := &Result{Scheme: SchemeFixed}
@@ -220,7 +221,7 @@ func sweepPoints(ctx context.Context, c *Compiled, cfg *machine.Config, outer Op
 	}()
 
 	start := time.Now()
-	tables, err := buildCostTables(ctx, c, cfg, opts, canon, n, res)
+	tables, err := buildCostTables(ctx, c, cfg, opts, rad, canon, n, res)
 	if err != nil {
 		return nil, err
 	}
@@ -233,21 +234,27 @@ func sweepPoints(ctx context.Context, c *Compiled, cfg *machine.Config, outer Op
 		}
 	}
 
-	// Gray sequence geometry: on symmetric machines enumerate the 2^(n-1)
-	// canonical (even) masks — index i maps to gray(i) shifted over the
-	// pinned object-0 bit, and step i flips object tz(i)+1 — then mirror
-	// the odd complements. Asymmetric machines enumerate all 2^n masks.
-	seqLen := 1 << uint(n)
+	// Gray sequence geometry: on symmetric 2-cluster machines enumerate
+	// the 2^(n-1) canonical (even) masks — index i maps to gray(i) shifted
+	// over the pinned object-0 bit, and step i advances object tz(i)+1 —
+	// then mirror the odd complements. Every other machine enumerates all
+	// k^n masks through the modular base-k Gray sequence, where step i
+	// advances the digit at the count of i's trailing zero base-k digits
+	// by +1 mod k.
+	seqLen := rad.count(n)
 	shift := uint(0)
 	if canon {
 		seqLen = 1 << uint(n-1)
 		shift = 1
 	}
 	maskAt := func(i uint64) uint64 {
-		return (i ^ (i >> 1)) << shift
+		if canon {
+			return rad.grayAt(i, n-1) << 1
+		}
+		return rad.grayAt(i, n)
 	}
 
-	points = make([]MappingPoint, 1<<uint(n))
+	points = make([]MappingPoint, rad.count(n))
 	chunks := parallel.Workers(opts.Workers)
 	if chunks > seqLen {
 		chunks = seqLen
@@ -265,47 +272,55 @@ func sweepPoints(ctx context.Context, c *Compiled, cfg *machine.Config, outer Op
 			}
 			// Seed the delta state at the chunk's first mask.
 			cur := maskAt(uint64(lo))
+			curDigit := make([]int, n)
+			clusterBytes := make([]int64, rad.k)
 			sigIdx := make([]int, len(tables))
-			var b1, cycles, moves int64
+			var cycles, moves int64
 			for ti := range tables {
 				sig := 0
 				for bi, o := range tables[ti].objs {
-					sig |= int(cur>>uint(o)&1) << uint(bi)
+					sig += rad.digit(cur, o) * int(rad.pow[bi])
 				}
 				sigIdx[ti] = sig
 				cycles += tables[ti].cost[sig].Cycles
 				moves += tables[ti].cost[sig].Moves
 			}
 			for j := 0; j < n; j++ {
-				if cur>>uint(j)&1 == 1 {
-					b1 += bytes[j]
-				}
+				curDigit[j] = rad.digit(cur, j)
+				clusterBytes[curDigit[j]] += bytes[j]
 			}
 			emit := func() {
-				imb := 0.0
-				if totalBytes > 0 {
-					imb = float64(abs64(totalBytes-2*b1)) / float64(totalBytes)
-				}
-				points[cur] = MappingPoint{Mask: cur, Cycles: cycles, Imbalance: imb}
+				points[cur] = MappingPoint{Mask: cur, Cycles: cycles, Imbalance: imbalanceOf(clusterBytes, totalBytes)}
 				st.cycles += cycles
 				st.moves += moves
 			}
 			emit()
 			for i := uint64(lo) + 1; i < uint64(hi); i++ {
-				obj := bits.TrailingZeros64(i) + int(shift)
-				bit := uint64(1) << uint(obj)
-				cur ^= bit
-				if cur&bit != 0 {
-					b1 += bytes[obj]
-				} else {
-					b1 -= bytes[obj]
+				obj := rad.grayStep(i) + int(shift)
+				old := curDigit[obj]
+				nw := old + 1
+				if nw == rad.k {
+					nw = 0
 				}
+				curDigit[obj] = nw
+				if nw == 0 {
+					cur -= uint64(rad.k-1) * rad.pow[obj]
+				} else {
+					cur += rad.pow[obj]
+				}
+				clusterBytes[old] -= bytes[obj]
+				clusterBytes[nw] += bytes[obj]
 				for _, ref := range objFuncs[obj] {
-					old := sigIdx[ref.ti]
-					nw := old ^ (1 << uint(ref.bit))
-					cycles += tables[ref.ti].cost[nw].Cycles - tables[ref.ti].cost[old].Cycles
-					moves += tables[ref.ti].cost[nw].Moves - tables[ref.ti].cost[old].Moves
-					sigIdx[ref.ti] = nw
+					oldSig := sigIdx[ref.ti]
+					var nwSig int
+					if nw == 0 {
+						nwSig = oldSig - (rad.k-1)*int(rad.pow[ref.bit])
+					} else {
+						nwSig = oldSig + int(rad.pow[ref.bit])
+					}
+					cycles += tables[ref.ti].cost[nwSig].Cycles - tables[ref.ti].cost[oldSig].Cycles
+					moves += tables[ref.ti].cost[nwSig].Moves - tables[ref.ti].cost[oldSig].Moves
+					sigIdx[ref.ti] = nwSig
 					st.funcs++
 				}
 				st.delta++

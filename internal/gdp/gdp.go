@@ -17,6 +17,7 @@ import (
 	"mcpart/internal/defaults"
 	"mcpart/internal/interp"
 	"mcpart/internal/ir"
+	"mcpart/internal/machine"
 	"mcpart/internal/obs"
 	"mcpart/internal/partition"
 	"mcpart/internal/rhop"
@@ -194,6 +195,25 @@ func objectGroups(m *ir.Module, uf *unionFind) [][]int {
 // PartitionData performs the first pass of Global Data Partitioning:
 // assign every data object a home cluster on a k-cluster machine.
 func PartitionData(m *ir.Module, prof *interp.Profile, k int, opts Options) (*Result, error) {
+	return partitionData(m, prof, k, opts, nil)
+}
+
+// PartitionDataOn is PartitionData for a concrete machine: the cluster
+// count, the per-cluster memory-share targets (when opts.MemFractions is
+// nil), and — on machines with non-uniform intercluster latencies — a
+// topology-aware mapping of partition parts onto physical clusters come
+// from mcfg. The graph partitioner minimizes cut data-flow weight treating
+// every cluster pair as equidistant; on a mesh or NUMA machine, *which*
+// cluster each part lands on then decides how many cycles every cut edge
+// costs, so the label assignment is optimized here as a second step.
+func PartitionDataOn(m *ir.Module, prof *interp.Profile, mcfg *machine.Config, opts Options) (*Result, error) {
+	if opts.MemFractions == nil {
+		opts.MemFractions = mcfg.MemFractions()
+	}
+	return partitionData(m, prof, mcfg.NumClusters(), opts, mcfg)
+}
+
+func partitionData(m *ir.Module, prof *interp.Profile, k int, opts Options, mcfg *machine.Config) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("gdp: need at least 1 cluster, got %d", k)
 	}
@@ -294,6 +314,9 @@ func PartitionData(m *ir.Module, prof *interp.Profile, k int, opts Options) (*Re
 	if k == 1 {
 		part = make([]int, g.Len())
 	}
+	if mcfg != nil {
+		part = remapToTopology(g, part, mcfg, opts.MemFractions)
+	}
 
 	res := &Result{
 		DataMap:   make(DataMap, len(m.Objects)),
@@ -315,6 +338,89 @@ func PartitionData(m *ir.Module, prof *interp.Profile, k int, opts Options) (*Re
 		opts.Obs.Counter("gdp_cut_weight").Add(res.CutWeight)
 	}
 	return res, nil
+}
+
+// remapToTopology relabels the k parts of a finished partition onto the
+// machine's k clusters to minimize the latency-weighted cut cost
+// Σ_{p<q} W[p][q] · MoveLat(π(p), π(q)), where W is the cut data-flow
+// weight between parts. Only memory-share-preserving permutations are
+// considered (part p was balanced to cluster p's byte target, so it may
+// only move to a cluster with the same target). The permutations are
+// enumerated in lexicographic order with strict improvement, so on
+// uniform-latency machines (every pair equidistant — bus, or any machine
+// expressed as a uniform matrix) the identity labeling always wins and the
+// result is bit-identical to the plain PartitionData path.
+func remapToTopology(g *partition.Graph, part []int, mcfg *machine.Config, fractions []float64) []int {
+	k := mcfg.NumClusters()
+	if k < 2 || k > 8 { // k! search; no preset exceeds 8 clusters
+		return part
+	}
+	lat := mcfg.LatencyTable()
+	uniform := true
+	for a := 0; a < k && uniform; a++ {
+		for b := a + 1; b < k; b++ {
+			if lat[a][b] != lat[0][1] {
+				uniform = false
+				break
+			}
+		}
+	}
+	if uniform {
+		return part
+	}
+	// Cut weight between each unordered part pair.
+	w := make([][]int64, k)
+	for p := range w {
+		w[p] = make([]int64, k)
+	}
+	for u := range g.Adj {
+		for _, e := range g.Adj[u] {
+			if u < e.To && part[u] != part[e.To] {
+				w[part[u]][part[e.To]] += e.W
+				w[part[e.To]][part[u]] += e.W
+			}
+		}
+	}
+	perm := make([]int, k) // part -> cluster
+	best := make([]int, k)
+	used := make([]bool, k)
+	var bestCost int64 = -1
+	var dfs func(p int, cost int64)
+	dfs = func(p int, cost int64) {
+		if bestCost >= 0 && cost >= bestCost {
+			return // partial cost only grows; prune
+		}
+		if p == k {
+			bestCost = cost
+			copy(best, perm)
+			return
+		}
+		for c := 0; c < k; c++ {
+			if used[c] {
+				continue
+			}
+			if fractions != nil && fractions[p] != fractions[c] {
+				continue
+			}
+			add := int64(0)
+			for q := 0; q < p; q++ {
+				add += w[p][q] * int64(lat[c][perm[q]])
+			}
+			used[c] = true
+			perm[p] = c
+			dfs(p+1, cost+add)
+			used[c] = false
+		}
+	}
+	dfs(0, 0)
+	if bestCost < 0 {
+		return part // no fraction-preserving permutation: keep identity
+	}
+	out := make([]int, len(part))
+	for u, p := range part {
+		out[u] = best[p]
+	}
+	return out
 }
 
 // linkCall adds affinity edges between a call op and the callee's

@@ -1,0 +1,149 @@
+package gdp
+
+import (
+	"reflect"
+	"testing"
+
+	"mcpart/internal/machine"
+	"mcpart/internal/partition"
+)
+
+// TestPartitionDataOnUniformMatchesPlain pins the conformance guarantee:
+// on uniform-latency machines (bus, or a uniform explicit matrix) the
+// machine-aware entry point is bit-identical to the plain k-way path —
+// the topology remap must recognize uniformity and keep the identity
+// labeling.
+func TestPartitionDataOnUniformMatchesPlain(t *testing.T) {
+	mod, prof := prep(t, balancedSrc)
+	plain, err := PartitionData(mod, prof, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []*machine.Config{
+		machine.FourCluster(5),
+		machine.AsMatrix(machine.FourCluster(5)),
+	} {
+		on, err := PartitionDataOn(mod, prof, cfg, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if !reflect.DeepEqual(plain.DataMap, on.DataMap) {
+			t.Errorf("%s: PartitionDataOn %v != PartitionData %v", cfg.Name, on.DataMap, plain.DataMap)
+		}
+		if plain.CutWeight != on.CutWeight {
+			t.Errorf("%s: cut weight %d != %d", cfg.Name, on.CutWeight, plain.CutWeight)
+		}
+	}
+}
+
+// remapGraph builds a k-node graph with one node per part and the given
+// inter-part edge weights, so remapToTopology's W matrix equals exactly
+// the weights passed in.
+func remapGraph(t *testing.T, k int, edges []struct {
+	u, v int
+	w    int64
+}) (*partition.Graph, []int) {
+	t.Helper()
+	g := partition.NewGraph(k, 1)
+	for _, e := range edges {
+		g.Connect(e.u, e.v, e.w)
+	}
+	part := make([]int, k)
+	for i := range part {
+		part[i] = i
+	}
+	return g, part
+}
+
+// TestRemapToTopologyMovesHeavyPairAdjacent: with one dominant
+// communicating part pair sitting on opposite corners of a ring under the
+// identity labeling, the remap must relabel them onto adjacent clusters.
+func TestRemapToTopologyMovesHeavyPairAdjacent(t *testing.T) {
+	ring := machine.RingFour(5)
+	// Parts 0 and 2 exchange 100 units; under identity they sit 2 hops
+	// apart (10 cycles); any adjacent pair costs 5.
+	g, part := remapGraph(t, 4, []struct {
+		u, v int
+		w    int64
+	}{{0, 2, 100}, {0, 1, 1}})
+	out := remapToTopology(g, part, ring, nil)
+	if got := ring.MoveLat(out[0], out[2]); got != 5 {
+		t.Errorf("heavy pair landed %d cycles apart, want adjacent (5): labeling %v", got, out)
+	}
+	// All four labels must still be a permutation.
+	seen := map[int]bool{}
+	for _, c := range out {
+		if c < 0 || c >= 4 || seen[c] {
+			t.Fatalf("labeling %v is not a permutation", out)
+		}
+		seen[c] = true
+	}
+}
+
+// TestRemapToTopologyUniformIsIdentity: on the bus the remap must return
+// the partition unchanged (not merely an equal-cost relabeling — the
+// identity itself, to keep uniform machines byte-identical to the plain
+// path).
+func TestRemapToTopologyUniformIsIdentity(t *testing.T) {
+	g, part := remapGraph(t, 4, []struct {
+		u, v int
+		w    int64
+	}{{0, 2, 100}, {1, 3, 50}})
+	for _, cfg := range []*machine.Config{
+		machine.FourCluster(5),
+		machine.AsMatrix(machine.FourCluster(5)),
+	} {
+		out := remapToTopology(g, part, cfg, nil)
+		if !reflect.DeepEqual(out, []int{0, 1, 2, 3}) {
+			t.Errorf("%s: uniform machine relabeled to %v", cfg.Name, out)
+		}
+	}
+}
+
+// TestRemapToTopologyRespectsFractions: a part balanced to a big-memory
+// cluster's target may only be relabeled onto a cluster with the same
+// target, even when ignoring that would be cheaper.
+func TestRemapToTopologyRespectsFractions(t *testing.T) {
+	numa := machine.NUMA4(5)
+	fractions := numa.MemFractions() // [0.375 0.375 0.125 0.125]
+	// Parts 0 (big memory) and 2 (small memory) communicate heavily.
+	// Unconstrained, the remap would co-locate them inside one node; the
+	// fraction guard only allows {0,1} and {2,3} to trade places.
+	g, part := remapGraph(t, 4, []struct {
+		u, v int
+		w    int64
+	}{{0, 2, 100}})
+	out := remapToTopology(g, part, numa, fractions)
+	for p := 0; p < 4; p++ {
+		if fractions[p] != fractions[out[p]] {
+			t.Fatalf("part %d (share %v) relabeled to cluster %d (share %v): %v",
+				p, fractions[p], out[p], fractions[out[p]], out)
+		}
+	}
+	// The heavy pair is condemned to cross nodes (20 cycles) whatever the
+	// legal labeling; the remap must not have pretended otherwise.
+	if got := numa.MoveLat(out[0], out[2]); got != 20 {
+		t.Errorf("heavy pair at %d cycles; every fraction-preserving labeling gives 20", got)
+	}
+}
+
+// TestPartitionDataOnNUMA4 drives the machine-aware entry point end to
+// end: memory fractions default from the machine's capacities, the
+// partition respects them, and the data map is valid.
+func TestPartitionDataOnNUMA4(t *testing.T) {
+	mod, prof := prep(t, balancedSrc)
+	numa := machine.NUMA4(5)
+	res, err := PartitionDataOn(mod, prof, numa, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.DataMap.Validate(mod, 4); err != nil {
+		t.Fatal(err)
+	}
+	bytes := MemBytesPerCluster(mod, res.DataMap, prof, 4)
+	node0 := bytes[0] + bytes[1]
+	node1 := bytes[2] + bytes[3]
+	if node0 < node1 {
+		t.Errorf("big-memory node holds %d bytes, small node %d; capacities are 3:1", node0, node1)
+	}
+}

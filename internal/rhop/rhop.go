@@ -1232,6 +1232,13 @@ type estScratch struct {
 	moveSrc []int   // by move key: source cluster
 	moveGen []int64 // by move key
 	touched []int   // move keys recorded this call, in first-touch order
+
+	// minLat is mcfg.MinMoveLat() memoized per config pointer: the drain
+	// bound below charges the cheapest possible hop for the last move in
+	// flight, which on non-uniform topologies is the admissible choice
+	// (and equals MoveLatency exactly on bus/ring/mesh/uniform matrices).
+	minLatCfg *machine.Config
+	minLat    int
 }
 
 // prepare sizes the tables for f on a k-cluster machine and starts a new
@@ -1270,6 +1277,10 @@ func (es *estScratch) blockLen(b *ir.Block, asg []int, home []int, lc *sched.Loo
 	k := mcfg.NumClusters()
 	f := b.Func
 	es.prepare(f, k)
+	if es.minLatCfg != mcfg {
+		es.minLatCfg = mcfg
+		es.minLat = mcfg.MinMoveLat()
+	}
 	addMove := func(entity, to, src int) {
 		key := entity*k + to
 		if es.moveGen[key] != es.gen {
@@ -1337,7 +1348,7 @@ func (es *estScratch) blockLen(b *ir.Block, asg []int, home []int, lc *sched.Loo
 		}
 	}
 	if n := len(es.touched); n > 0 {
-		if bb := int64((n+mcfg.MoveBandwidth-1)/mcfg.MoveBandwidth) + int64(mcfg.MoveLatency); bb > length {
+		if bb := int64((n+mcfg.MoveBandwidth-1)/mcfg.MoveBandwidth) + int64(es.minLat); bb > length {
 			length = bb
 		}
 	}

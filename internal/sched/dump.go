@@ -20,9 +20,13 @@ type SlotDep struct {
 type Slot struct {
 	Cycle   int
 	Cluster int
-	Kind    machine.FUKind
-	Op      *ir.Op // nil for intercluster moves
-	IsMove  bool
+	// To is the receiving cluster of an intercluster move (== Cluster for
+	// ordinary ops), so validators can re-derive the per-hop move cost
+	// from the machine topology without trusting Lat.
+	To     int
+	Kind   machine.FUKind
+	Op     *ir.Op // nil for intercluster moves
+	IsMove bool
 	// Lat is the operation's result latency (cycles from issue until the
 	// value is available to dependents).
 	Lat int
@@ -63,6 +67,7 @@ func (sc *Scratch) MaterializeBlock(b *ir.Block, asg []int, home []int, lc *Loop
 		bs.Slots = append(bs.Slots, Slot{
 			Cycle:   n.start,
 			Cluster: n.cluster,
+			To:      n.to,
 			Kind:    n.kind,
 			Op:      n.op,
 			IsMove:  n.isMove,

@@ -137,6 +137,7 @@ type BlockResult struct {
 type node struct {
 	op      *ir.Op // nil for moves
 	cluster int
+	to      int // destination cluster of a move; == cluster for ops
 	kind    machine.FUKind
 	lat     int
 	isMove  bool
@@ -360,6 +361,7 @@ func (sc *Scratch) buildNodes(b *ir.Block, asg []int, home []int, lc *LoopCtx, c
 		nd := &sc.nodes[i]
 		nd.op = op
 		nd.cluster = asg[op.ID]
+		nd.to = nd.cluster
 		nd.kind = machine.KindOf(op.Opcode)
 		nd.lat = machine.Latency(op.Opcode)
 	}
@@ -375,6 +377,7 @@ func (sc *Scratch) buildNodes(b *ir.Block, asg []int, home []int, lc *LoopCtx, c
 		mi := sc.newNode()
 		nd := &sc.nodes[mi]
 		nd.cluster = srcCluster // moves issue on the sending cluster
+		nd.to = k.to
 		nd.kind = machine.FUInt
 		nd.lat = cfg.MoveLat(srcCluster, k.to)
 		nd.isMove = true

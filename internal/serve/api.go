@@ -56,7 +56,8 @@ type APIRequest struct {
 
 // MachineSpec names a machine preset.
 type MachineSpec struct {
-	// Preset is paper2 (default) | four | hetero2 | ring4.
+	// Preset is paper2 (default) | four | eight | hetero2 | ring4 | ring8 |
+	// mesh4 | mesh8 | numa4.
 	Preset string `json:"preset,omitempty"`
 	// MoveLatency is the intercluster move latency in cycles (default 5,
 	// one of the paper's three points).
@@ -181,18 +182,7 @@ func (r *APIRequest) machine() (*mcpart.Machine, error) {
 	if lat <= 0 {
 		lat = 5
 	}
-	switch r.Machine.Preset {
-	case "", "paper2":
-		return mcpart.Paper2Cluster(lat), nil
-	case "four":
-		return mcpart.FourCluster(lat), nil
-	case "hetero2":
-		return mcpart.Heterogeneous2(lat), nil
-	case "ring4":
-		return mcpart.RingFour(lat), nil
-	default:
-		return nil, fmt.Errorf("unknown machine preset %q", r.Machine.Preset)
-	}
+	return mcpart.MachinePreset(r.Machine.Preset, lat)
 }
 
 // scheme resolves the request's scheme name.

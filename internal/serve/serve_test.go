@@ -137,6 +137,64 @@ func TestServeEndpointsMatchFacade(t *testing.T) {
 	}
 }
 
+// TestServeTopologyPresets drives the daemon on the topology machine
+// presets: every preset resolves over the wire, the validated partition
+// matches the one-shot facade on the same machine, and the
+// branch-and-bound endpoint agrees with the facade's optimum.
+func TestServeTopologyPresets(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	p, err := mcpart.LoadBenchmark("fir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, preset := range []string{"ring8", "mesh4", "mesh8", "numa4"} {
+		m, err := mcpart.MachinePreset(preset, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mcpart.Evaluate(p, m, mcpart.SchemeGDP, mcpart.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, env := post(t, ts.URL, "/v1/partition", APIRequest{
+			Bench: "fir", Scheme: "gdp", Validate: true,
+			Machine: MachineSpec{Preset: preset},
+		})
+		if status != 200 || !env.OK {
+			t.Fatalf("%s partition: %d %+v", preset, status, env.Error)
+		}
+		pr := decodeResult[PartitionResult](t, env)
+		if pr.Cycles != want.Cycles || pr.Moves != want.Moves || !pr.Validated {
+			t.Fatalf("%s: wire result %+v, facade wants %d cycles %d moves validated",
+				preset, pr, want.Cycles, want.Moves)
+		}
+	}
+	best, err := mcpart.BestMapping(p, mustPreset(t, "mesh4"), mcpart.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, env := post(t, ts.URL, "/v1/best", APIRequest{
+		Bench: "fir", Machine: MachineSpec{Preset: "mesh4"},
+	})
+	if status != 200 || !env.OK {
+		t.Fatalf("mesh4 best: %d %+v", status, env.Error)
+	}
+	br := decodeResult[BestResult](t, env)
+	if br.Mask != best.Mask || br.Cycles != best.Cycles {
+		t.Fatalf("mesh4 best over the wire %+v, facade mask %#x cycles %d",
+			br, best.Mask, best.Cycles)
+	}
+}
+
+func mustPreset(t *testing.T, name string) *mcpart.Machine {
+	t.Helper()
+	m, err := mcpart.MachinePreset(name, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 // TestServeErrorTaxonomy pins the typed 4xx/5xx classes: every bad input
 // fails crisply with the right code, never a 200 with wrong numbers and
 // never an untyped 500.

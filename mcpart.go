@@ -196,6 +196,33 @@ var (
 	// RingFour is a four-cluster machine on a nearest-neighbor ring
 	// (tiled-machine interconnect; moves cost MoveLatency per hop).
 	RingFour = machine.RingFour
+	// EightCluster scales the paper machine to eight bus-connected
+	// clusters.
+	EightCluster = machine.EightCluster
+	// Ring8 is an eight-cluster nearest-neighbor ring.
+	Ring8 = machine.Ring8
+	// Mesh4 is a 2x2 mesh: moves cost Manhattan-hops x MoveLatency.
+	Mesh4 = machine.Mesh4
+	// Mesh8 is a 2x4 mesh.
+	Mesh8 = machine.Mesh8
+	// NUMA4 is a four-cluster near-data machine: two 2-cluster nodes with
+	// cheap intra-node moves, 4x-latency inter-node moves, and asymmetric
+	// scratchpad capacities (clusters 0-1 hold 3x the bytes of 2-3).
+	NUMA4 = machine.NUMA4
+	// WithLatencyMatrix replaces a machine's interconnect with an explicit
+	// per-pair move-latency matrix (validated: zero diagonal, symmetric,
+	// positive off-diagonal).
+	WithLatencyMatrix = machine.WithLatencyMatrix
+	// AsMatrix re-expresses any machine's interconnect as its explicit
+	// latency matrix; results are byte-identical to the structural
+	// topology (the cross-topology conformance suite pins this).
+	AsMatrix = machine.AsMatrix
+	// MachinePreset resolves a preset name (paper2, four, eight, hetero2,
+	// ring4, ring8, mesh4, mesh8, numa4) to a machine at the given move
+	// latency.
+	MachinePreset = machine.Preset
+	// MachinePresetNames lists the names MachinePreset accepts.
+	MachinePresetNames = machine.PresetNames
 )
 
 // Program is a compiled, analyzed, and profiled program — the input every
@@ -405,9 +432,10 @@ func EvaluateDataMap(p *Program, m *Machine, dm DataMap, opts Options) (r *Resul
 	return eval.RunWithDataMap(p.c, m, dm, opts)
 }
 
-// ExhaustiveSearch enumerates every data-object mapping on a 2-cluster
-// machine (the paper's Figure 9). maxObjects guards against blowup
-// (0 means 14, i.e. at most 16384 mappings).
+// ExhaustiveSearch enumerates every data-object mapping on the machine's k
+// clusters (the paper's Figure 9; k^objects points, encoded as base-k
+// positional masks). maxObjects guards against blowup: at most 2^maxObjects
+// mapping points (0 means 14, i.e. at most 16384 mappings).
 func ExhaustiveSearch(p *Program, m *Machine, opts Options, maxObjects int) (*ExhaustiveResult, error) {
 	return ExhaustiveSearchCtx(context.Background(), p, m, opts, maxObjects)
 }
@@ -422,10 +450,10 @@ func ExhaustiveSearchCtx(ctx context.Context, p *Program, m *Machine, opts Optio
 // from the eval package.
 type BestMappingResult = eval.BestResult
 
-// BestMapping finds the optimal data-object mapping on a 2-cluster machine
-// by branch and bound over object-assignment prefixes, without enumerating
-// all 2^n points. It returns the same optimum an exhaustive sweep would
-// find, on programs too large to sweep (maxObjects 0 means 24).
+// BestMapping finds the optimal data-object mapping on the machine's k
+// clusters by branch and bound over object-assignment prefixes, without
+// enumerating all k^n points. It returns the same optimum an exhaustive
+// sweep would find, on programs too large to sweep (maxObjects 0 means 24).
 func BestMapping(p *Program, m *Machine, opts Options, maxObjects int) (*BestMappingResult, error) {
 	return BestMappingCtx(context.Background(), p, m, opts, maxObjects)
 }
